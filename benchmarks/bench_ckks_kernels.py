@@ -1,0 +1,65 @@
+"""Microbenchmarks of the functional CKKS library itself.
+
+Not a paper figure — these time the pure-Python substrate (NTT, HMult,
+HRot, bootstrap building blocks at reduced degree) so regressions in
+the functional stack are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks.context import CkksContext, make_params
+from repro.ckks.ops import Evaluator
+from repro.ntt.reference import NttContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = make_params(degree=1 << 12, slots=1024, scale_bits=28, depth=6, dnum=3)
+    return CkksContext(params, seed=7)
+
+
+@pytest.fixture(scope="module")
+def ev(ctx):
+    return Evaluator(ctx)
+
+
+@pytest.fixture(scope="module")
+def ct_pair(ctx):
+    rng = np.random.default_rng(0)
+    m1 = rng.uniform(-1, 1, 1024)
+    m2 = rng.uniform(-1, 1, 1024)
+    return ctx.encrypt(m1), ctx.encrypt(m2)
+
+
+def test_bench_ntt_forward(benchmark):
+    plan = NttContext(1 << 14, 786433)
+    a = np.random.default_rng(0).integers(0, 786433, 1 << 14).astype(np.uint64)
+    benchmark(plan.forward, a)
+
+
+def test_bench_encrypt(benchmark, ctx):
+    m = np.random.default_rng(1).uniform(-1, 1, 1024)
+    benchmark(ctx.encrypt, m)
+
+
+def test_bench_hadd(benchmark, ev, ct_pair):
+    a, b = ct_pair
+    benchmark(ev.add, a, b)
+
+
+def test_bench_hmult(benchmark, ev, ct_pair):
+    a, b = ct_pair
+    benchmark(ev.multiply, a, b)
+
+
+def test_bench_hrot(benchmark, ev, ct_pair):
+    a, _ = ct_pair
+    ev.rotate(a, 3)  # warm the galois key cache
+    benchmark(ev.rotate, a, 3)
+
+
+def test_bench_rescale(benchmark, ev, ct_pair):
+    a, b = ct_pair
+    product = ev.multiply(a, b, rescale=False)
+    benchmark(ev.rescale, product)

@@ -1,0 +1,142 @@
+"""Fig. 2 — the word-length analysis (ALU scaling, prime allocation,
+operational counts) and Fig. 3 — energy/delay/EDP synthesis.
+
+Paper anchors:
+  Fig. 2(a): 64b vs 28b ALUs cost 5.01x area / 5.37x power (gmean).
+  Fig. 2(b): L_eff = {28:6, 32:5, 36..60:8, 64:7}; Set_36 has L=35,
+             K=12, 11 SS primes.
+  Fig. 2(c): Set_28 needs 1.95x (narrow) / 1.73x (wide) more weighted
+             ops per level than Set_36, and 2.59x / 2.38x more than
+             Set_64.
+  Fig. 3:    Set_36 minimizes energy, delay, and EDP for both
+             workloads.
+"""
+
+from conftest import print_table
+
+from repro.core.alu_model import (
+    alu_area,
+    alu_power,
+    area_ratio_64_to_28,
+    power_ratio_64_to_28,
+    scaling_table,
+)
+from repro.core.efficiency import best_word_length, efficiency_sweep
+from repro.core.opcount import weighted_ops, workload_counts
+from repro.params.presets import build_sharp_setting
+
+SWEEP_WORDS = (28, 32, 36, 48, 64)
+
+
+def test_fig2a_alu_scaling(benchmark):
+    rows = benchmark(scaling_table)
+    print_table(
+        "Fig. 2(a): ALU area/power vs word length (28-bit mult = 1.0)",
+        ["w", "area mult", "area Mont", "area Barr", "power mult", "power Barr"],
+        [
+            [
+                r["word_bits"],
+                f"{r['area_mult']:.2f}",
+                f"{r['area_montgomery']:.2f}",
+                f"{r['area_barrett']:.2f}",
+                f"{r['power_mult']:.2f}",
+                f"{r['power_barrett']:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+    print(
+        f"64b/28b gmean: area {area_ratio_64_to_28():.2f}x (paper 5.01x), "
+        f"power {power_ratio_64_to_28():.2f}x (paper 5.37x)"
+    )
+    assert abs(area_ratio_64_to_28() - 5.01) < 0.05
+    assert abs(power_ratio_64_to_28() - 5.37) < 0.05
+
+
+def test_fig2b_prime_allocation(benchmark):
+    def build_all():
+        return {w: build_sharp_setting(w) for w in SWEEP_WORDS}
+
+    settings = benchmark(build_all)
+    paper_leff = {28: 6, 32: 5, 36: 8, 48: 8, 64: 7}
+    rows = []
+    for w, s in settings.items():
+        rows.append(
+            [
+                f"Set_{w}",
+                s.base_prime_count,
+                s.ss_prime_count,
+                s.ds_prime_count,
+                s.max_level,
+                s.k,
+                s.l_eff,
+                paper_leff[w],
+            ]
+        )
+    print_table(
+        "Fig. 2(b): prime allocation and L_eff per word length",
+        ["setting", "base", "SS", "DS", "L", "K", "L_eff", "paper L_eff"],
+        rows,
+    )
+    for w, s in settings.items():
+        assert s.l_eff == paper_leff[w]
+
+
+def test_fig2c_operational_counts(benchmark):
+    def sweep():
+        out = {}
+        for label, hm in (("narrow", 1), ("wide", 30)):
+            for w in SWEEP_WORDS:
+                s = build_sharp_setting(w)
+                counts = workload_counts(s, hm)
+                out[(label, w)] = (
+                    weighted_ops(counts, w) / s.l_eff,
+                    counts.share("bconv_muls"),
+                )
+        return out
+
+    data = benchmark(sweep)
+    rows = []
+    for label in ("narrow", "wide"):
+        base = data[(label, 36)][0]
+        for w in SWEEP_WORDS:
+            ops, bconv = data[(label, w)]
+            rows.append([label, f"Set_{w}", f"{ops/base:.2f}", f"{bconv*100:.0f}%"])
+    print_table(
+        "Fig. 2(c): weighted ops per level (vs Set_36) and BConv share",
+        ["workload", "setting", "ops ratio", "BConv share"],
+        rows,
+    )
+    narrow_28_36 = data[("narrow", 28)][0] / data[("narrow", 36)][0]
+    wide_28_36 = data[("wide", 28)][0] / data[("wide", 36)][0]
+    print(
+        f"Set_28/Set_36: narrow {narrow_28_36:.2f}x (paper 1.95x), "
+        f"wide {wide_28_36:.2f}x (paper 1.73x)"
+    )
+    assert 1.6 < narrow_28_36 < 2.3
+    assert 1.4 < wide_28_36 < 2.1
+
+
+def test_fig3_energy_delay_edp(benchmark):
+    def sweep():
+        return {wl: efficiency_sweep(wl) for wl in ("narrow", "wide")}
+
+    data = benchmark(sweep)
+    for wl, points in data.items():
+        ref = next(p for p in points if p.word_bits == 36)
+        rows = [
+            [
+                f"Set_{p.word_bits}",
+                f"{p.energy/ref.energy:.2f}",
+                f"{p.delay/ref.delay:.2f}",
+                f"{p.edp/ref.edp:.2f}",
+            ]
+            for p in points
+        ]
+        print_table(
+            f"Fig. 3 ({wl}): energy/delay/EDP relative to Set_36",
+            ["setting", "energy", "delay", "EDP"],
+            rows,
+        )
+    assert best_word_length("narrow") == 36
+    assert best_word_length("wide") == 36

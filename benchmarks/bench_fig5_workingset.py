@@ -1,0 +1,62 @@
+"""Fig. 5 — HMult complexity breakdown and working set vs level.
+
+Paper anchors: a max-level ciphertext is 19.7 MB and an evk 79.3 MB
+(40.3 MB with PRNG); the BConv share of HMult fluctuates with the
+level; only high (bootstrapping) levels can overflow the 180 MB
+RF_main (observation (11)).
+"""
+
+from conftest import print_table
+
+from repro.analysis.workingset import fig5_data, hmult_breakdown, working_set_curve
+
+
+def test_fig5a_complexity_breakdown(benchmark, sharp_setting):
+    points = benchmark(working_set_curve, sharp_setting)
+    rows = [
+        [
+            p.limbs,
+            f"{p.ntt_share*100:.0f}%",
+            f"{p.bconv_share*100:.0f}%",
+            f"{p.elementwise_share*100:.0f}%",
+        ]
+        for p in points[::4]
+    ]
+    print_table(
+        "Fig. 5(a): HMult work shares vs level (paper: BConv 21-60% of NTT)",
+        ["limbs", "NTT", "BConv", "elementwise"],
+        rows,
+    )
+    # NTT dominates overall, BConv fluctuates with the level.
+    assert all(p.ntt_share > 0.35 for p in points)
+    bconv = [p.bconv_share for p in points]
+    assert max(bconv) > 1.5 * min(bconv)
+
+
+def test_fig5b_working_set(benchmark, sharp_setting):
+    data = benchmark(fig5_data, sharp_setting)
+    points = data["points"]
+    rows = [
+        [
+            p.limbs,
+            f"{p.ciphertext_mib:.1f}",
+            f"{p.working_set_mib[4]:.0f}",
+            f"{p.working_set_mib[8]:.0f}",
+            f"{p.working_set_mib[16]:.0f}",
+        ]
+        for p in points[::4]
+    ]
+    print_table(
+        "Fig. 5(b): working set (MiB) vs level; capacity 180 MiB",
+        ["limbs", "ct", "ws(4 cts)", "ws(8 cts)", "ws(16 cts)"],
+        rows,
+    )
+    print(
+        f"max-level ciphertext {data['max_ciphertext_mib']:.1f} MiB (paper 19.7); "
+        f"evk {data['evk_mib']:.1f} MiB (paper 40.3 w/ PRNG)"
+    )
+    assert abs(data["max_ciphertext_mib"] - 19.7) < 0.3
+    assert abs(data["evk_mib"] - 40.3) < 1.5
+    # Observation (11): the capacity binds only at high levels.
+    assert data["binding_limbs"]
+    assert min(data["binding_limbs"]) > sharp_setting.max_level // 3

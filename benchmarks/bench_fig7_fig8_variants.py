@@ -1,0 +1,159 @@
+"""Fig. 7 — word-length SHARP variants; Fig. 8 — feature ablation.
+
+Paper anchors:
+  Fig. 7: SHARP_36 vs SHARP_28: 1.64-1.87x lower delay, 2.04-2.69x
+          lower EDP, 1.68-2.21x lower EDAP.  SHARP_64 vs SHARP_36:
+          similar delay (0.95-1.21x) but 1.69-2.80x higher EDP and
+          2.95-4.88x higher EDAP.
+  Fig. 8: +Hierarchy, +2D-BConv, +EWE, +BSGS add up to 1.47x lower
+          EDP vs ARK36-180 (1.45x vs ARK36-512); the 8-cluster SHARP
+          is 1.40x faster.
+"""
+
+import math
+
+from conftest import print_table
+
+from repro.core.config import (
+    ark36_config,
+    sharp28_config,
+    sharp64_config,
+    sharp_8cluster_config,
+    sharp_config,
+)
+from repro.hw.sim import Simulator
+from repro.workloads.traces import bootstrap_trace, evaluation_traces, helr_trace
+
+WORKLOADS = ("bootstrap", "helr256", "helr1024", "resnet20", "sorting")
+
+
+def _gmean(vals):
+    vals = list(vals)
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _run(config):
+    sim = Simulator(config)
+    return {n: sim.run(t) for n, t in evaluation_traces(sim.setting).items()}
+
+
+def test_fig7_wordlength_variants(benchmark):
+    def run_all():
+        return {c.name: _run(c) for c in (sharp_config(), sharp28_config(), sharp64_config())}
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = data["SHARP"]
+    rows = []
+    for name in ("SHARP_28", "SHARP_64"):
+        for wl in ("bootstrap", "helr256"):
+            r, b = data[name][wl], base[wl]
+            rows.append(
+                [
+                    name,
+                    wl,
+                    f"{r.seconds/b.seconds:.2f}x",
+                    f"{r.energy_j/b.energy_j:.2f}x",
+                    f"{r.edp/b.edp:.2f}x",
+                    f"{r.edap/b.edap:.2f}x",
+                ]
+            )
+    print_table(
+        "Fig. 7: delay/energy/EDP/EDAP vs SHARP_36 "
+        "(paper: 28b EDP 2.04-2.69x, 64b EDP 1.69-2.80x)",
+        ["variant", "workload", "delay", "energy", "EDP", "EDAP"],
+        rows,
+    )
+    d28 = _gmean(data["SHARP_28"][w].edp / base[w].edp for w in WORKLOADS)
+    d64 = _gmean(data["SHARP_64"][w].edp / base[w].edp for w in WORKLOADS)
+    assert d28 > 1.4  # 36-bit clearly beats 28-bit on EDP
+    assert d64 > 1.4  # and 64-bit
+    edap64 = _gmean(data["SHARP_64"][w].edap / base[w].edap for w in WORKLOADS)
+    assert edap64 > 2.0  # 64-bit pays heavily in area
+
+
+def test_fig8_feature_ablation(benchmark):
+    def run_all():
+        ark180 = ark36_config(180)
+        steps = {
+            "ARK36-180": ark180,
+            "+Hierarchy": ark180.with_features(hierarchical_nttu=True),
+            "+2D-BConv": ark180.with_features(
+                hierarchical_nttu=True, two_d_bconv=True, bconv_macs_per_lane=16
+            ),
+            "+EWE": ark180.with_features(
+                hierarchical_nttu=True,
+                two_d_bconv=True,
+                bconv_macs_per_lane=16,
+                ewe=True,
+                ew_mults_per_lane=4,
+            ),
+            "SHARP": sharp_config(),
+            "ARK36-512": ark36_config(512),
+            "8-cluster": sharp_8cluster_config(),
+        }
+        return {name: _run(cfg) for name, cfg in steps.items()}
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = data["ARK36-180"]
+    rows = []
+    for name in ("ARK36-180", "+Hierarchy", "+2D-BConv", "+EWE", "SHARP",
+                 "ARK36-512", "8-cluster"):
+        d = _gmean(data[name][w].seconds / base[w].seconds for w in WORKLOADS)
+        e = _gmean(data[name][w].energy_j / base[w].energy_j for w in WORKLOADS)
+        edp = _gmean(data[name][w].edp / base[w].edp for w in WORKLOADS)
+        edap = _gmean(data[name][w].edap / base[w].edap for w in WORKLOADS)
+        rows.append([name, f"{d:.2f}", f"{e:.2f}", f"{edp:.2f}", f"{edap:.2f}"])
+    print_table(
+        "Fig. 8: incremental features (all relative to ARK36-180; "
+        "paper: SHARP reaches 1/1.47x EDP)",
+        ["config", "delay", "energy", "EDP", "EDAP"],
+        rows,
+    )
+    sharp_edp = _gmean(data["SHARP"][w].edp / base[w].edp for w in WORKLOADS)
+    assert sharp_edp < 0.95  # the features add up to a real EDP win
+    eight = _gmean(
+        data["8-cluster"][w].seconds / data["SHARP"][w].seconds for w in WORKLOADS
+    )
+    assert eight < 0.95  # 8-cluster is faster (paper: 1.40x)
+
+
+def test_fig8_hierarchy_area_power(benchmark):
+    from repro.hw.area import chip_area
+
+    def areas():
+        flat = ark36_config(180)
+        hier = flat.with_features(hierarchical_nttu=True)
+        return chip_area(flat), chip_area(hier)
+
+    flat_area, hier_area = benchmark(areas)
+    ratio = flat_area.nttu / hier_area.nttu
+    print(
+        f"\nhierarchical NTTU area reduction: {ratio:.2f}x (paper 2.04x); "
+        f"chip: {flat_area.total:.1f} -> {hier_area.total:.1f} mm^2"
+    )
+    assert abs(ratio - 2.04) < 0.05
+
+
+def test_bsgs_fine_tuning_effect(benchmark):
+    """Observation (12): fine-tuned BSGS avoids bootstrap-level spills."""
+    from repro.analysis.bsgs import plan_bsgs
+    from repro.params.presets import build_sharp_setting
+
+    setting = build_sharp_setting(36)
+    cap = 198 * (1 << 20)
+
+    def plans():
+        tuned = plan_bsgs(setting, setting.max_level, cap, fine_tune=True)
+        balanced = plan_bsgs(setting, setting.max_level, cap, fine_tune=False)
+        return tuned, balanced
+
+    tuned, balanced = benchmark(plans)
+    print(
+        f"\nBSGS at the top level: balanced bs={balanced.bs} "
+        f"(fits={balanced.fits_on_chip}, spills {balanced.spill_bytes/2**20:.0f} MiB) "
+        f"-> tuned bs={tuned.bs} (fits={tuned.fits_on_chip}, "
+        f"+{tuned.rotations - balanced.rotations} rotations)"
+    )
+    assert not balanced.fits_on_chip  # the top level overflows 198 MiB
+    assert tuned.fits_on_chip  # fine-tuning fixes it
+    assert tuned.rotations >= balanced.rotations  # by paying compute

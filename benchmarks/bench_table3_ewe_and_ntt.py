@@ -1,0 +1,89 @@
+"""Table 3 — EWE instruction coverage; S4.2 — NTTU dataflow numbers.
+
+Paper anchors: five EWE instructions cover every compound element-wise
+pattern (observation (9)); the ten-step NTTU cuts the horizontal
+bisection bandwidth six-fold (768 -> 128 words/cycle) and keeps the
+transform bit-exact.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.ntt.reference import NttContext
+from repro.ntt.tenstep import (
+    TenStepNtt,
+    flat_nttu_dataflow,
+    hierarchical_nttu_dataflow,
+)
+from repro.ntt.twiddle import DoubleOfTwistUnit, phase2_twist_factors
+
+# Table 3: instruction -> (inputs used, outputs) as (mults, adds) per
+# element; the EWE datapath offers 4 multipliers and 2 adders.
+EWE_INSTRUCTIONS = {
+    "Tensor": (4, 1),  # D0=BB', D1=AB'+A'B, D2=AA'
+    "AccQ": (4, 2),  # E0=D2*Bk+c*D0, E1=D2*Ak+c*D1
+    "AccP": (2, 2),  # E0=D2*Bk+D0, E1=D2*Ak+D1
+    "ModD": (2, 1),  # D0=c*B-c*B'
+    "MAD": (4, 2),  # D0=P*B+c*B', D1=P*A+c*A'
+}
+
+
+def test_table3_ewe_instruction_fit(benchmark):
+    def check():
+        return {
+            name: (m <= 4 and a <= 2) for name, (m, a) in EWE_INSTRUCTIONS.items()
+        }
+
+    fits = benchmark(check)
+    rows = [
+        [name, f"{m} mults", f"{a} adds", "OK" if fits[name] else "OVER"]
+        for name, (m, a) in EWE_INSTRUCTIONS.items()
+    ]
+    print_table(
+        "Table 3: EWE instructions vs the 4-mult/2-add datapath",
+        ["instr", "mults", "adds", "fits"],
+        rows,
+    )
+    assert all(fits.values())
+
+
+def test_tenstep_nttu_bit_exact(benchmark):
+    n, q = 65536, 786433
+    ref = NttContext(n, q)
+    ts = TenStepNtt(n, q)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, q, n).astype(np.uint64)
+
+    fwd = benchmark(ts.forward, a)
+    assert np.array_equal(fwd, ref.forward(a))
+
+
+def test_nttu_bisection_reduction(benchmark):
+    def profile():
+        return flat_nttu_dataflow(256, 65536), hierarchical_nttu_dataflow(256, 65536)
+
+    flat, hier = benchmark(profile)
+    rows = [
+        ["flat (ARK-style)", flat.bisection_words_per_cycle, flat.horizontal_wire_length],
+        ["ten-step (SHARP)", hier.bisection_words_per_cycle, hier.horizontal_wire_length],
+    ]
+    print_table(
+        "S4.2: NTTU dataflow (paper: 768 vs 128 w/c, 9.17x shorter wires)",
+        ["design", "bisection w/c", "wire length"],
+        rows,
+    )
+    assert flat.bisection_words_per_cycle / hier.bisection_words_per_cycle == 6.0
+
+
+def test_double_of_twist_streaming(benchmark):
+    q = 7681
+    zeta = pow(17, 5, q)
+    m = 16
+    want = phase2_twist_factors(zeta, m, q)
+
+    def stream():
+        unit = DoubleOfTwistUnit(zeta, zeta * zeta % q, m, q)
+        return unit.stream(m * m)
+
+    got = benchmark(stream)
+    assert got == want

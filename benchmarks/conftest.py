@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every ``bench_*.py`` regenerates one of the paper's tables or figures:
+run ``pytest benchmarks/ --benchmark-only -s`` to see the rows printed
+next to the paper's reported values.
+"""
+
+import pytest
+
+
+def print_table(title, header, rows):
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+@pytest.fixture(scope="session")
+def sharp_setting():
+    from repro.params.presets import build_sharp_setting
+    return build_sharp_setting(36)

@@ -1,0 +1,72 @@
+"""Tour of the SHARP accelerator model: parameters to performance.
+
+Walks the paper's pipeline: build Set_36 (the 36-bit parameter set),
+show why 36 bits wins the word-length sweep, assemble the SHARP
+configuration (Table 4), simulate the five evaluation workloads, and
+compare against the prior accelerators' reported numbers.
+
+Run:  python examples/accelerator_tour.py    (~1 min)
+"""
+
+import math
+
+from repro.analysis.published import PRIOR_ACCELERATORS
+from repro.core.config import sharp_config
+from repro.core.efficiency import best_word_length, efficiency_sweep
+from repro.hw.area import chip_area
+from repro.hw.sim import Simulator
+from repro.params.presets import build_sharp_setting
+from repro.workloads.traces import evaluation_traces
+
+
+def main() -> None:
+    print("== 1. The 36-bit parameter set (Fig. 2(b)) ==")
+    setting = build_sharp_setting(36)
+    print(setting.describe())
+
+    print("\n== 2. Why 36 bits (Fig. 3) ==")
+    for point in efficiency_sweep("narrow", word_lengths=(28, 32, 36, 48, 64)):
+        print(
+            f"  Set_{point.word_bits}: L_eff {point.l_eff}, "
+            f"relative EDP {point.edp:.3g}"
+        )
+    print(f"  -> EDP-optimal word length: {best_word_length('narrow')} bits")
+
+    print("\n== 3. The SHARP design point (Table 4) ==")
+    cfg = sharp_config()
+    area = chip_area(cfg)
+    print(f"  {cfg.clusters} clusters x {cfg.lanes_per_cluster} lanes "
+          f"({cfg.lane_group}-lane groups), {cfg.word_bits}-bit datapath")
+    print(f"  on-chip {cfg.onchip_capacity_bytes/2**20:.0f} MiB, "
+          f"die {area.total:.1f} mm^2 "
+          f"({area.memory_fraction*100:.0f}% RF+PHY; paper: 178.8, 66%)")
+
+    print("\n== 4. Simulated workloads (Fig. 6) ==")
+    sim = Simulator(cfg)
+    traces = evaluation_traces(sim.setting)
+    times = {}
+    for name, trace in traces.items():
+        r = sim.run(trace)
+        t = r.seconds / trace.normalize
+        times[name] = t
+        print(
+            f"  {name:10s} {t*1e3:9.3f} ms  {r.power_w:5.1f} W  "
+            f"NTTU {r.utilization['nttu']*100:.0f}%  "
+            f"BConvU {r.utilization['bconvu']*100:.0f}%"
+        )
+
+    print("\n== 5. Against the prior accelerators (reported values) ==")
+    for acc in PRIOR_ACCELERATORS.values():
+        g = math.exp(
+            sum(math.log(v) for v in acc.speedup_by_workload.values())
+            / len(acc.speedup_by_workload)
+        )
+        print(
+            f"  vs {acc.name:7s}: {g:5.2f}x faster (paper reports "
+            f"{acc.sharp_speedup_gmean}x), with {acc.area_mm2/area.total:.2f}x "
+            "less area"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: encrypted arithmetic with the from-scratch CKKS library.
+
+Encrypts two vectors, runs the primitive HE ops of the paper's
+Table 1 (HAdd, HMult, PMult, HRot, conjugation), and decrypts.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ckks.context import CkksContext, make_params
+from repro.ckks.ops import Evaluator
+
+
+def main() -> None:
+    # A reduced-degree parameter set: N = 2^12, 1024 slots, six
+    # 2^28-scaled levels (the full-size Set_36 analysis lives in
+    # repro.params.presets / repro.core).
+    params = make_params(degree=1 << 12, slots=1024, scale_bits=28, depth=6)
+    print(f"ring degree N = {params.degree}, slots = {params.slots}, "
+          f"levels = {params.usable_level}, log PQ = {params.log_pq:.0f}")
+
+    ctx = CkksContext(params)
+    ev = Evaluator(ctx)
+
+    rng = np.random.default_rng(42)
+    a = rng.uniform(-1, 1, params.slots)
+    b = rng.uniform(-1, 1, params.slots)
+
+    ct_a = ctx.encrypt(a)
+    ct_b = ctx.encrypt(b)
+
+    demos = {
+        "a + b  (HAdd)": (ev.add(ct_a, ct_b), a + b),
+        "a * b  (HMult)": (ev.multiply(ct_a, ct_b), a * b),
+        "a * b  (PMult)": (ev.multiply_plain(ct_a, ctx.encode(b)), a * b),
+        "rot(a, 5) (HRot)": (ev.rotate(ct_a, 5), np.roll(a, -5)),
+        "a^2 + b (mixed)": (
+            # The branches land on slightly different scales (the primes
+            # only approximate the scale); ev.match reconciles them.
+            ev.add(*ev.match(ev.square(ct_a), ct_b)),
+            a * a + b,
+        ),
+    }
+    for label, (ct, want) in demos.items():
+        got = ctx.decrypt(ct).real
+        err = np.max(np.abs(got - want))
+        print(f"{label:18s} max error {err:.2e}  (level {ct.level})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""SHARP (ISCA 2023) reproduction.
+
+A from-scratch RNS-CKKS library with bootstrapping, the paper's
+word-length analysis, and a model of the SHARP accelerator
+microarchitecture.  See README.md for a tour and DESIGN.md for the
+system inventory.
+"""
+
+__version__ = "1.0.0"

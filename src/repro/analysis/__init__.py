@@ -1,0 +1,6 @@
+"""Analysis layer: working sets, BSGS tuning, published baselines."""
+
+from repro.analysis.bsgs import plan_bsgs
+from repro.analysis.workingset import fig5_data
+
+__all__ = ["plan_bsgs", "fig5_data"]

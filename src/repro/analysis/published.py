@@ -1,0 +1,125 @@
+"""Published comparison data for prior FHE accelerators.
+
+The paper evaluates SHARP "using their reported performance and power
+consumption values" (S6.1); we do the same.  Areas, powers, and the
+resource table come straight from the paper's Table 4 and S2.4/S6.2.
+The text reports per-accelerator *geometric-mean* speedups rather than
+per-workload absolute times, so per-workload baseline runtimes are
+reconstructed as ``sharp_time * gmean_ratio`` with the per-workload
+spread the paper's Fig. 6(a) bars indicate (bootstrapping-heavy
+workloads sit closer to the gmean; BTS's gap widens on ResNet-20/
+sorting).  EXPERIMENTS.md flags these as reconstructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PublishedAccelerator",
+    "BTS",
+    "CLAKE_PLUS",
+    "ARK",
+    "PRIOR_ACCELERATORS",
+    "PAPER_GMEAN_SPEEDUP",
+    "PAPER_PERF_PER_AREA_GAIN",
+    "PAPER_PERF_PER_WATT_GAIN",
+    "baseline_runtime",
+]
+
+
+@dataclass(frozen=True)
+class PublishedAccelerator:
+    """Reported figures for one prior ASIC (paper Table 4 / S6.2)."""
+
+    name: str
+    word_bits: int
+    area_mm2: float  # 7nm / 7nm-scaled
+    avg_power_w: float
+    onchip_mb: float
+    offchip_bw_tbs: float
+    lanes: int
+    # SHARP's reported gmean advantage over this design (S6.2).
+    sharp_speedup_gmean: float
+    # Per-workload speedup spread reconstructed from Fig. 6(a)'s bars.
+    speedup_by_workload: dict
+
+
+BTS = PublishedAccelerator(
+    name="BTS",
+    word_bits=64,
+    area_mm2=373.6,
+    avg_power_w=163.2,
+    onchip_mb=534.0,
+    offchip_bw_tbs=1.0,
+    lanes=2048,
+    sharp_speedup_gmean=11.5,
+    speedup_by_workload={
+        "bootstrap": 8.7,
+        "helr256": 9.5,
+        "helr1024": 10.5,
+        "resnet20": 14.2,
+        "sorting": 16.0,
+    },
+)
+
+CLAKE_PLUS = PublishedAccelerator(
+    name="CLake+",
+    word_bits=28,
+    area_mm2=222.7,  # 14/12nm design scaled to 7nm
+    avg_power_w=109.0,
+    onchip_mb=282.0,
+    offchip_bw_tbs=1.0,
+    lanes=2048,
+    sharp_speedup_gmean=2.39,
+    speedup_by_workload={
+        "bootstrap": 2.1,
+        "helr256": 2.2,
+        "helr1024": 2.4,
+        "resnet20": 2.6,
+        "sorting": 2.7,
+    },
+)
+
+ARK = PublishedAccelerator(
+    name="ARK",
+    word_bits=64,
+    area_mm2=418.3,
+    avg_power_w=119.0,
+    onchip_mb=588.0,
+    offchip_bw_tbs=1.0,
+    lanes=1024,
+    sharp_speedup_gmean=1.57,
+    speedup_by_workload={
+        "bootstrap": 1.45,
+        "helr256": 1.5,
+        "helr1024": 1.55,
+        "resnet20": 1.65,
+        "sorting": 1.72,
+    },
+)
+
+PRIOR_ACCELERATORS = {a.name: a for a in (BTS, CLAKE_PLUS, ARK)}
+
+# Headline gmean gains the paper reports for SHARP (S6.2).
+PAPER_GMEAN_SPEEDUP = {"BTS": 11.5, "CLake+": 2.39, "ARK": 1.57}
+PAPER_PERF_PER_AREA_GAIN = {"BTS": 22.9, "CLake+": 2.98, "ARK": 3.67}
+PAPER_PERF_PER_WATT_GAIN = {"BTS": 19.4, "CLake+": 2.75, "ARK": 2.04}
+
+# SHARP's own published figures for cross-checks.
+SHARP_AREA_MM2 = 178.8
+SHARP_AVG_POWER_W = 94.7
+SHARP_8C_AREA_MM2 = 251.5
+
+
+def baseline_runtime(
+    accelerator: str, workload: str, sharp_seconds: float
+) -> float:
+    """Reconstructed baseline runtime for one workload.
+
+    ``sharp_seconds`` is *our* simulated SHARP runtime; the baseline is
+    placed at the paper's reported relative position.
+    """
+    acc = PRIOR_ACCELERATORS[accelerator]
+    ratio = acc.speedup_by_workload.get(workload, acc.sharp_speedup_gmean)
+    return sharp_seconds * ratio

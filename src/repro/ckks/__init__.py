@@ -1,0 +1,14 @@
+"""The functional RNS-CKKS scheme (encode/encrypt/ops/bootstrap)."""
+
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext, CkksParams, make_params
+from repro.ckks.ops import Evaluator
+
+__all__ = [
+    "Ciphertext",
+    "Plaintext",
+    "CkksContext",
+    "CkksParams",
+    "make_params",
+    "Evaluator",
+]

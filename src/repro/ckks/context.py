@@ -1,0 +1,373 @@
+"""CKKS parameter sets, key material, and encryption/decryption.
+
+This is the *functional* side of the reproduction: a complete, working
+RNS-CKKS implementation.  Parameter sets here are built for reduced
+ring degrees (``N = 2**10 .. 2**13``) so that Python-speed experiments
+finish; they reuse the same prime-search machinery as the full-size
+``Set_k`` analysis and keep every prime below ``2**31`` so limb
+arithmetic stays on the fast ``uint64`` path.  Scales larger than a
+prime are realized by double-prime scaling (DS), exactly like a
+short-word accelerator would (paper S3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.encoder import CkksEncoder
+from repro.params.primes import find_aux_primes, find_ds_pairs, find_ss_primes
+from repro.rns.modmath import mod_inverse
+from repro.rns.poly import RingContext, RnsPolynomial
+
+__all__ = ["LevelStep", "CkksParams", "KeySet", "CkksContext", "make_params"]
+
+_FAST_PRIME_BITS = 30  # SS only when the scale fits comfortably below 2^31
+_BASE_HEADROOM_BITS = 7  # base modulus margin above the scale for decode
+
+
+@dataclass(frozen=True)
+class LevelStep:
+    """One rescale unit: a single prime (SS) or a prime pair (DS)."""
+
+    primes: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.primes) not in (1, 2):
+            raise ValueError("a level step holds one (SS) or two (DS) primes")
+
+    @property
+    def is_double(self) -> bool:
+        return len(self.primes) == 2
+
+    @property
+    def scale(self) -> float:
+        return float(math.prod(self.primes))
+
+
+@dataclass(frozen=True)
+class CkksParams:
+    """A functional CKKS parameter set.
+
+    The modulus chain is ``base_primes`` followed by the primes of each
+    step in order; rescaling consumes steps from the *end*.  ``steps``
+    may mix scales (normal levels first, bootstrap levels last) — the
+    ciphertext ``level`` indexes into this list.
+    """
+
+    degree: int
+    slots: int
+    scale_bits: float
+    base_primes: tuple[int, ...]
+    steps: tuple[LevelStep, ...]
+    aux_primes: tuple[int, ...]
+    dnum: int
+    hamming_weight: int
+    sigma: float = 3.2
+    boot_levels: int = 0
+    boot_scale_bits: float | None = None
+
+    @property
+    def max_level(self) -> int:
+        return len(self.steps)
+
+    @property
+    def usable_level(self) -> int:
+        """Levels available to the application (bootstrap budget excluded).
+
+        The last ``boot_levels`` steps of the chain are reserved for the
+        CtS / EvalMod / StC pipeline; fresh ciphertexts start below them
+        and bootstrapping returns ciphertexts here (the paper's L_eff).
+        """
+        return len(self.steps) - self.boot_levels
+
+    @property
+    def q_primes(self) -> tuple[int, ...]:
+        out = list(self.base_primes)
+        for s in self.steps:
+            out.extend(s.primes)
+        return tuple(out)
+
+    @property
+    def full_basis(self) -> tuple[int, ...]:
+        return self.q_primes + self.aux_primes
+
+    @property
+    def scale(self) -> float:
+        return 2.0 ** self.scale_bits
+
+    @property
+    def alpha(self) -> int:
+        """Digit width (primes per key-switching digit)."""
+        return math.ceil(len(self.q_primes) / self.dnum)
+
+    @property
+    def aux_product(self) -> int:
+        return math.prod(self.aux_primes)
+
+    def active_moduli(self, level: int) -> tuple[int, ...]:
+        """q-basis of a ciphertext at ``level`` remaining steps."""
+        if level < 0 or level > self.max_level:
+            raise ValueError(f"level {level} out of range")
+        out = list(self.base_primes)
+        for s in self.steps[:level]:
+            out.extend(s.primes)
+        return tuple(out)
+
+    def step_at(self, level: int) -> LevelStep:
+        """The step consumed when rescaling *from* ``level``."""
+        return self.steps[level - 1]
+
+    def digit_spans(self) -> list[tuple[int, int]]:
+        """(start, stop) limb index ranges of the key-switch digits."""
+        total = len(self.q_primes)
+        spans = []
+        for start in range(0, total, self.alpha):
+            spans.append((start, min(start + self.alpha, total)))
+        return spans
+
+    @property
+    def log_q(self) -> float:
+        return sum(math.log2(q) for q in self.q_primes)
+
+    @property
+    def log_pq(self) -> float:
+        return self.log_q + sum(math.log2(p) for p in self.aux_primes)
+
+
+def _steps_for_scale(
+    two_n: int, scale_bits: float, count: int, exclude: set[int]
+) -> list[LevelStep]:
+    """Realize ``count`` rescale steps of one scale, SS first then DS."""
+    if count <= 0:
+        return []
+    if scale_bits <= _FAST_PRIME_BITS:
+        primes = find_ss_primes(two_n, scale_bits, count, _FAST_PRIME_BITS + 1, exclude=exclude)
+        exclude.update(primes)
+        return [LevelStep((p,)) for p in primes]
+    pairs = find_ds_pairs(two_n, scale_bits, count, _FAST_PRIME_BITS + 1, exclude=exclude)
+    for a, b in pairs:
+        exclude.update((a, b))
+    return [LevelStep((a, b)) for a, b in pairs]
+
+
+def make_params(
+    degree: int = 1 << 12,
+    slots: int | None = None,
+    scale_bits: float = 28,
+    depth: int = 8,
+    boot_scale_bits: float | None = None,
+    boot_depth: int = 0,
+    dnum: int = 3,
+    hamming_weight: int | None = None,
+) -> CkksParams:
+    """Build a functional parameter set.
+
+    ``depth`` normal levels at ``2**scale_bits`` sit at the *end* of the
+    chain (consumed first); ``boot_depth`` levels at the bootstrap scale
+    sit between them and the base.  All primes are < 2^31 (fast path);
+    larger scales become DS pairs automatically.
+    """
+    if slots is None:
+        slots = degree // 4
+    two_n = 2 * degree
+    exclude: set[int] = set()
+
+    base_bits = min(float(_FAST_PRIME_BITS), scale_bits + _BASE_HEADROOM_BITS)
+    if scale_bits + _BASE_HEADROOM_BITS > _FAST_PRIME_BITS:
+        base_bits = scale_bits + _BASE_HEADROOM_BITS  # realized as a DS pair
+    base_steps = _steps_for_scale(two_n, base_bits, 1, exclude)
+    base_primes = base_steps[0].primes
+
+    boot_steps: list[LevelStep] = []
+    if boot_depth:
+        if boot_scale_bits is None:
+            raise ValueError("boot_depth > 0 requires boot_scale_bits")
+        boot_steps = _steps_for_scale(two_n, boot_scale_bits, boot_depth, exclude)
+
+    normal_steps = _steps_for_scale(two_n, scale_bits, depth, exclude)
+
+    # Normal levels first, bootstrap levels last: rescaling consumes the
+    # chain from the end, and after ModRaise the bootstrap pipeline must
+    # burn its own budget before the application reuses normal levels.
+    steps = tuple(normal_steps + boot_steps)
+    q_primes = list(base_primes)
+    for s in steps:
+        q_primes.extend(s.primes)
+    # One aux prime beyond the digit width: P ~ 2^30 * D_max, so the
+    # ModDown-divided key-switching noise stays below the fresh noise
+    # (matching library behaviour; with P ~ D_max rotations would cost
+    # ~7 bits of precision).
+    alpha = math.ceil(len(q_primes) / dnum)
+    aux = find_aux_primes(
+        two_n, alpha + 1, min_value=max(q_primes), word_bits=_FAST_PRIME_BITS + 1
+    )
+
+    if hamming_weight is None:
+        hamming_weight = min(64, degree // 8)
+    return CkksParams(
+        degree=degree,
+        slots=slots,
+        scale_bits=scale_bits,
+        base_primes=tuple(base_primes),
+        steps=steps,
+        aux_primes=tuple(aux),
+        dnum=dnum,
+        hamming_weight=hamming_weight,
+        boot_levels=len(boot_steps),
+        boot_scale_bits=boot_scale_bits if boot_depth else None,
+    )
+
+
+class KeySet:
+    """Secret key plus lazily generated public/evaluation keys.
+
+    Evaluation keys follow the hybrid (dnum-digit) key-switching
+    construction: ``evk_j = (-a_j*s + e_j + P*g_j*s_src, a_j)`` over the
+    full ``PQ`` basis, where ``g_j`` is the CRT selector of digit ``j``
+    (``= 1`` mod the digit's primes, ``= 0`` mod the others).  One evk
+    serves every level (paper S2.2).
+    """
+
+    def __init__(self, params: CkksParams, ring: RingContext, rng: np.random.Generator):
+        self.params = params
+        self.ring = ring
+        self.rng = rng
+        self.secret_coeffs = self._sample_secret()
+        self._secret_cache: dict[tuple[int, ...], RnsPolynomial] = {}
+        self._evk_cache: dict[object, list[tuple[RnsPolynomial, RnsPolynomial]]] = {}
+        # Digit selectors g_j as big ints over the full Q.
+        q_primes = params.q_primes
+        q_big = math.prod(q_primes)
+        self._g: list[int] = []
+        for start, stop in params.digit_spans():
+            d_j = math.prod(q_primes[start:stop])
+            q_tilde = q_big // d_j
+            self._g.append(q_tilde * mod_inverse(q_tilde % d_j, d_j))
+        self._q_big = q_big
+
+    # -- sampling ---------------------------------------------------------------
+
+    def _sample_secret(self) -> np.ndarray:
+        n = self.params.degree
+        h = self.params.hamming_weight
+        coeffs = np.zeros(n, dtype=np.int64)
+        idx = self.rng.choice(n, size=h, replace=False)
+        coeffs[idx] = self.rng.choice((-1, 1), size=h)
+        return coeffs
+
+    def _sample_error(self) -> np.ndarray:
+        return np.rint(
+            self.rng.normal(0.0, self.params.sigma, self.params.degree)
+        ).astype(np.int64)
+
+    def uniform_poly(self, moduli: tuple[int, ...]) -> RnsPolynomial:
+        rows = [
+            self.rng.integers(0, q, self.params.degree, dtype=np.uint64)
+            for q in moduli
+        ]
+        return RnsPolynomial(self.ring, tuple(moduli), np.stack(rows), ntt_form=True)
+
+    def error_poly(self, moduli: tuple[int, ...]) -> RnsPolynomial:
+        return RnsPolynomial.from_int_coeffs(
+            self.ring, moduli, self._sample_error()
+        ).to_ntt()
+
+    # -- key material ------------------------------------------------------------
+
+    def secret_poly(self, moduli: tuple[int, ...]) -> RnsPolynomial:
+        key = tuple(moduli)
+        poly = self._secret_cache.get(key)
+        if poly is None:
+            poly = RnsPolynomial.from_int_coeffs(
+                self.ring, key, self.secret_coeffs
+            ).to_ntt()
+            self._secret_cache[key] = poly
+        return poly
+
+    def _make_evk(self, src_secret: RnsPolynomial) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
+        """Key-switching key from ``src_secret`` to the main secret."""
+        params = self.params
+        basis = params.full_basis
+        s = self.secret_poly(basis)
+        p_big = params.aux_product
+        digits = []
+        for g_j in self._g:
+            a_j = self.uniform_poly(basis)
+            e_j = self.error_poly(basis)
+            factor = p_big * g_j  # reduced per limb inside scalar_mul
+            msg = src_secret.scalar_mul([factor % q for q in basis])
+            b_j = -(a_j * s) + e_j + msg
+            digits.append((b_j, a_j))
+        return digits
+
+    def relinearization_key(self) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
+        """evk_mult: switches ``s**2`` back to ``s``."""
+        key = "mult"
+        if key not in self._evk_cache:
+            basis = self.params.full_basis
+            s = self.secret_poly(basis)
+            self._evk_cache[key] = self._make_evk(s * s)
+        return self._evk_cache[key]
+
+    def galois_key(self, galois: int) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
+        """evk_rot for one automorphism: switches ``s(X**g)`` back to ``s``."""
+        key = ("galois", galois)
+        if key not in self._evk_cache:
+            basis = self.params.full_basis
+            s_g = self.secret_poly(basis).automorphism(galois)
+            self._evk_cache[key] = self._make_evk(s_g)
+        return self._evk_cache[key]
+
+
+class CkksContext:
+    """Top-level handle: parameters, ring, encoder, keys, enc/dec."""
+
+    def __init__(self, params: CkksParams, seed: int = 2023):
+        self.params = params
+        self.ring = RingContext(params.degree)
+        self.encoder = CkksEncoder(self.ring, params.slots)
+        self.rng = np.random.default_rng(seed)
+        self.keys = KeySet(params, self.ring, self.rng)
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode(self, values, level: int | None = None, scale: float | None = None) -> Plaintext:
+        if level is None:
+            level = self.params.usable_level
+        if scale is None:
+            scale = self.params.scale
+        moduli = self.params.active_moduli(level)
+        return Plaintext(self.encoder.encode(values, moduli, scale), scale)
+
+    def decode(self, plaintext: Plaintext) -> np.ndarray:
+        return self.encoder.decode(plaintext.poly, plaintext.scale)
+
+    # -- encryption ---------------------------------------------------------------
+
+    def encrypt(self, values, level: int | None = None, scale: float | None = None) -> Ciphertext:
+        """Symmetric-style RLWE encryption of a message vector."""
+        if level is None:
+            level = self.params.usable_level
+        if scale is None:
+            scale = self.params.scale
+        moduli = self.params.active_moduli(level)
+        pt = self.encoder.encode(values, moduli, scale)
+        a = self.keys.uniform_poly(moduli)
+        e = self.keys.error_poly(moduli)
+        s = self.keys.secret_poly(moduli)
+        b = -(a * s) + e + pt
+        return Ciphertext(b, a, level, scale)
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        """Decrypt and decode to a complex message vector."""
+        s = self.keys.secret_poly(ct.moduli)
+        pt = ct.c0 + ct.c1 * s
+        return self.encoder.decode(pt, ct.scale)
+
+    def decrypt_poly(self, ct: Ciphertext) -> Plaintext:
+        s = self.keys.secret_poly(ct.moduli)
+        return Plaintext(ct.c0 + ct.c1 * s, ct.scale)

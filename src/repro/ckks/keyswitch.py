@@ -1,0 +1,106 @@
+"""Hybrid (dnum-digit) key-switching — the heart of HMult and HRot.
+
+Key-switching re-encrypts a polynomial known under one secret (``s**2``
+after a tensor product, ``s(X**g)`` after an automorphism) to the main
+secret.  The RNS-hybrid construction (paper S2.2) decomposes the input
+into ``dnum`` digits, raises each to the extended basis ``Q_l * P``
+(ModUp: INTT -> BConv -> NTT, the pattern SHARP's dataflow optimizes),
+multiplies by the matching evk digit, and scales the accumulated result
+back down by ``P`` (ModDown).
+
+The same evaluation key works at every level because the digit
+selectors ``g_j`` are built over the full chain and remain valid CRT
+selectors for any prefix of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.context import CkksContext
+from repro.rns.bconv import CONVERTERS
+from repro.rns.modmath import mod_inverse
+from repro.rns.poly import RnsPolynomial
+
+__all__ = ["KeySwitcher"]
+
+
+class KeySwitcher:
+    """Performs hybrid key-switching against a context's parameters."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+        self.params = context.params
+        self.ring = context.ring
+
+    def mod_up(self, poly: RnsPolynomial) -> list[RnsPolynomial]:
+        """Digit-decompose and raise to the extended basis ``C + P``.
+
+        ``poly`` must be in coefficient form over the active q-basis C.
+        Returns one extended polynomial per (active) digit, in NTT form.
+        """
+        params = self.params
+        active = poly.moduli
+        target = active + params.aux_primes
+        extended = []
+        for start, stop in params.digit_spans():
+            stop = min(stop, len(active))
+            if start >= len(active):
+                break
+            digit_moduli = active[start:stop]
+            digit_poly = poly.keep_limbs(range(start, stop))
+            rest = [
+                (i, q) for i, q in enumerate(target) if not (start <= i < stop)
+            ]
+            conv = CONVERTERS.get(digit_moduli, tuple(q for _, q in rest))
+            converted = conv.convert(digit_poly)
+            rows = np.empty(
+                (len(target), self.ring.degree), dtype=np.uint64
+            )
+            rows[start:stop] = digit_poly.limbs
+            for row_idx, (i, _q) in enumerate(rest):
+                rows[i] = converted.limbs[row_idx]
+            ext = RnsPolynomial(self.ring, target, rows, ntt_form=False)
+            extended.append(ext.to_ntt())
+        return extended
+
+    def mod_down(self, poly: RnsPolynomial) -> RnsPolynomial:
+        """Divide an extended-basis polynomial by ``P`` (rounded in RNS).
+
+        ``poly`` is over ``C + P`` in NTT form; the result is over ``C``.
+        """
+        params = self.params
+        k = len(params.aux_primes)
+        active = poly.moduli[:-k]
+        # P-part to coefficient form, convert into the q-basis.
+        p_part = poly.keep_limbs(range(len(active), len(poly.moduli))).from_ntt()
+        conv = CONVERTERS.get(params.aux_primes, active)
+        correction = conv.convert(p_part).to_ntt()
+        q_part = poly.keep_limbs(range(len(active)))
+        diff = q_part - correction
+        p_inv = [mod_inverse(params.aux_product % q, q) for q in active]
+        return diff.scalar_mul(p_inv)
+
+    def switch(
+        self,
+        poly: RnsPolynomial,
+        evk: list[tuple[RnsPolynomial, RnsPolynomial]],
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Full key-switch of ``poly`` (NTT form, active basis).
+
+        Returns ``(u0, u1)`` over the active basis such that
+        ``u0 + u1*s ~ poly * s_src``.
+        """
+        active = poly.moduli
+        target = active + self.params.aux_primes
+        extended = self.mod_up(poly.from_ntt())
+        acc0 = RnsPolynomial.zero(self.ring, target, ntt_form=True)
+        acc1 = RnsPolynomial.zero(self.ring, target, ntt_form=True)
+        keep = list(range(len(active))) + [
+            len(self.params.q_primes) + i
+            for i in range(len(self.params.aux_primes))
+        ]
+        for ext, (b_j, a_j) in zip(extended, evk):
+            acc0 = acc0 + ext * b_j.keep_limbs(keep)
+            acc1 = acc1 + ext * a_j.keep_limbs(keep)
+        return self.mod_down(acc0), self.mod_down(acc1)

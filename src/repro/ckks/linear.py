@@ -1,0 +1,147 @@
+"""Homomorphic linear transforms on slots (BSGS matrix-vector).
+
+A complex matrix ``M`` acts on a ciphertext's slot vector as
+``z -> M z`` via the diagonal method:  ``M z = sum_d diag_d(M) *
+rot_d(z)``, grouped baby-step/giant-step so only ``O(sqrt(n))``
+rotations are needed (paper S5's BSGS subroutine — the bootstrapping
+phase whose ``bs``/``gs`` split SHARP tunes to its memory capacity).
+
+R-linear maps that also involve the conjugate (needed by CoeffToSlot /
+SlotToCoeff) carry a second matrix applied to ``conj(z)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.ops import Evaluator
+
+__all__ = ["LinearTransform", "bsgs_split"]
+
+
+def bsgs_split(n_diagonals: int, baby: int | None = None) -> tuple[int, int]:
+    """(bs, gs) split with ``bs * gs >= n_diagonals``.
+
+    Defaults to the balanced ``bs = gs = sqrt(D)`` the paper calls the
+    computational optimum; SHARP's memory-capacity-aware fine-tuning
+    picks a smaller ``bs`` instead (modeled in
+    :mod:`repro.analysis.bsgs`).
+    """
+    if baby is None:
+        baby = 1 << round(math.log2(max(1.0, math.sqrt(n_diagonals))))
+    baby = max(1, min(baby, n_diagonals))
+    giant = math.ceil(n_diagonals / baby)
+    return baby, giant
+
+
+@dataclass
+class LinearTransform:
+    """A (possibly conjugate-carrying) slot-space linear map."""
+
+    matrix: np.ndarray  # applied to z
+    conj_matrix: np.ndarray | None = None  # applied to conj(z)
+    baby_steps: int | None = None
+
+    def __post_init__(self):
+        m = np.asarray(self.matrix, dtype=np.complex128)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError("matrix must be square")
+        self.matrix = m
+        if self.conj_matrix is not None:
+            c = np.asarray(self.conj_matrix, dtype=np.complex128)
+            if c.shape != m.shape:
+                raise ValueError("conjugate matrix shape mismatch")
+            self.conj_matrix = c
+
+    @property
+    def size(self) -> int:
+        return self.matrix.shape[0]
+
+    def reference_apply(self, z: np.ndarray) -> np.ndarray:
+        out = self.matrix @ z
+        if self.conj_matrix is not None:
+            out = out + self.conj_matrix @ np.conj(z)
+        return out
+
+    # -- diagonal extraction ------------------------------------------------------
+
+    @staticmethod
+    def _diagonals(matrix: np.ndarray, tol: float = 0.0) -> dict[int, np.ndarray]:
+        n = matrix.shape[0]
+        j = np.arange(n)
+        out = {}
+        for d in range(n):
+            diag = matrix[j, (j + d) % n]
+            if tol == 0.0 or np.max(np.abs(diag)) > tol:
+                out[d] = diag
+        return out
+
+    # -- homomorphic application -----------------------------------------------------
+
+    def apply(
+        self, ev: Evaluator, ct: Ciphertext, output_scale: float | None = None
+    ) -> Ciphertext:
+        """Evaluate the transform; consumes exactly one level.
+
+        ``output_scale`` sets the exact scale of the result (default:
+        the input's scale).  Bootstrapping uses this to move a
+        ciphertext between the normal working scale and the larger
+        EvalMod scale: the diagonal plaintexts are encoded at whatever
+        scale makes the post-rescale result land exactly there.
+        """
+        n = self.size
+        if ev.params.slots != n:
+            raise ValueError("transform size must equal the slot count")
+        parts = [(self.matrix, ct)]
+        if self.conj_matrix is not None:
+            parts.append((self.conj_matrix, ev.conjugate(ct)))
+
+        acc: Ciphertext | None = None
+        target_scale = output_scale if output_scale is not None else ct.scale
+        for matrix, base in parts:
+            scale_cut = 1e-14 * (np.max(np.abs(matrix)) + 1e-300)
+            diags = self._diagonals(matrix, tol=scale_cut)
+            if not diags:
+                continue
+            bs, gs = bsgs_split(n, self.baby_steps)
+            # Baby rotations rot_j(base) for j in [0, bs).
+            baby_cts: dict[int, Ciphertext] = {}
+            needed_babies = {d % bs for d in diags}
+            for j in sorted(needed_babies):
+                baby_cts[j] = ev.rotate(base, j) if j else base
+            step_scale = ev.params.step_at(ct.level).scale
+            for i in range(gs):
+                inner: Ciphertext | None = None
+                for j in range(bs):
+                    d = i * bs + j
+                    if d not in diags:
+                        continue
+                    # Pre-rotate the diagonal so the outer rotation by
+                    # i*bs lands it in place.
+                    diag = np.roll(diags[d], i * bs)
+                    src = baby_cts[j]
+                    pt_scale = target_scale * step_scale / src.scale
+                    pt = ev.context.encode(diag, level=src.level, scale=pt_scale)
+                    term = ev.multiply_plain(src, pt, rescale=False)
+                    inner = term if inner is None else ev.add(inner, term)
+                if inner is None:
+                    continue
+                if i * bs:
+                    inner = ev.rescale(inner)
+                    inner = Ciphertext(
+                        inner.c0, inner.c1, inner.level, target_scale
+                    )
+                    rotated = ev.rotate(inner, i * bs)
+                else:
+                    rotated = ev.rescale(inner)
+                    rotated = Ciphertext(
+                        rotated.c0, rotated.c1, rotated.level, target_scale
+                    )
+                acc = rotated if acc is None else ev.add(acc, rotated)
+        if acc is None:
+            raise ValueError("transform is numerically zero")
+        return acc

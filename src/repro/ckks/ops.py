@@ -1,0 +1,276 @@
+"""The CKKS evaluator: every primitive HE op of Table 1.
+
+HAdd / HSub / PMult / PAdd / CMult / CAdd / HMult / HRot / conjugation
+/ rescaling / level management.  Ciphertexts stay in the evaluation
+representation; rescaling and key-switching move limbs through the
+INTT -> (BConv | CRT) -> NTT pattern that dominates accelerator traffic.
+
+Rescaling supports both single-prime (SS) and double-prime (DS) steps;
+the DS path reconstructs each coefficient from the two dropped limbs
+with Garner's CRT — the double-word accumulation SHARP assigns to its
+DSU (paper S4.5, Eq. 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext
+from repro.ckks.keyswitch import KeySwitcher
+from repro.rns.modmath import mod_inverse
+from repro.rns.poly import RnsPolynomial
+
+__all__ = ["Evaluator"]
+
+_SCALE_MATCH_TOLERANCE = 1e-9
+
+
+class Evaluator:
+    """Homomorphic operations over a :class:`CkksContext`."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+        self.params = context.params
+        self.ring = context.ring
+        self.switcher = KeySwitcher(context)
+
+    # -- level and scale alignment ----------------------------------------------
+
+    def drop_to_level(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Modulus-switch down to ``level`` without rescaling."""
+        if level > ct.level:
+            raise ValueError("cannot raise a ciphertext's level")
+        if level == ct.level:
+            return ct
+        drop = len(ct.moduli) - len(self.params.active_moduli(level))
+        return Ciphertext(
+            ct.c0.drop_limbs(drop), ct.c1.drop_limbs(drop), level, ct.scale
+        )
+
+    def align(self, a: Ciphertext, b: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        level = min(a.level, b.level)
+        return self.drop_to_level(a, level), self.drop_to_level(b, level)
+
+    def _check_scales(self, a: float, b: float) -> float:
+        if abs(a - b) > _SCALE_MATCH_TOLERANCE * max(a, b):
+            raise ValueError(f"scale mismatch: {a:g} vs {b:g}")
+        return max(a, b)
+
+    # -- additive ops -------------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        a, b = self.align(a, b)
+        scale = self._check_scales(a.scale, b.scale)
+        return Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.level, scale)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        a, b = self.align(a, b)
+        scale = self._check_scales(a.scale, b.scale)
+        return Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.level, scale)
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext(-ct.c0, -ct.c1, ct.level, ct.scale)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        if pt.moduli != ct.moduli:
+            raise ValueError("plaintext basis must match the ciphertext")
+        scale = self._check_scales(ct.scale, pt.scale)
+        return Ciphertext(ct.c0 + pt.poly, ct.c1, ct.level, scale)
+
+    def add_scalar(self, ct: Ciphertext, value: complex) -> Ciphertext:
+        pt = self.context.encode(
+            np.full(self.params.slots, value), level=ct.level, scale=ct.scale
+        )
+        return self.add_plain(ct, pt)
+
+    # -- multiplicative ops ---------------------------------------------------------
+
+    def multiply_plain(
+        self, ct: Ciphertext, pt: Plaintext, rescale: bool = True
+    ) -> Ciphertext:
+        """PMult: ciphertext x plaintext, with optional rescaling."""
+        if pt.moduli != ct.moduli:
+            raise ValueError("plaintext basis must match the ciphertext")
+        out = Ciphertext(
+            ct.c0 * pt.poly, ct.c1 * pt.poly, ct.level, ct.scale * pt.scale
+        )
+        return self.rescale(out) if rescale else out
+
+    def multiply_scalar(
+        self, ct: Ciphertext, value: complex, rescale: bool = True
+    ) -> Ciphertext:
+        """CMult via an encoded constant at the step scale."""
+        step_scale = self.params.step_at(ct.level).scale
+        pt = self.context.encode(
+            np.full(self.params.slots, value), level=ct.level, scale=step_scale
+        )
+        return self.multiply_plain(ct, pt, rescale=rescale)
+
+    def multiply(
+        self, a: Ciphertext, b: Ciphertext, rescale: bool = True
+    ) -> Ciphertext:
+        """HMult: tensor, relinearize with evk_mult, optionally rescale."""
+        a, b = self.align(a, b)
+        d0 = a.c0 * b.c0
+        d1 = a.c0 * b.c1 + a.c1 * b.c0
+        d2 = a.c1 * b.c1
+        u0, u1 = self.switcher.switch(d2, self.context.keys.relinearization_key())
+        out = Ciphertext(d0 + u0, d1 + u1, a.level, a.scale * b.scale)
+        return self.rescale(out) if rescale else out
+
+    def square(self, ct: Ciphertext, rescale: bool = True) -> Ciphertext:
+        return self.multiply(ct, ct, rescale=rescale)
+
+    def adjust(self, ct: Ciphertext, level: int, scale: float) -> Ciphertext:
+        """Bring a ciphertext to an exact (level, scale) operating point.
+
+        Needed because RNS primes only approximate the scale: two
+        computation branches drift apart by the primes' deviation and
+        could no longer be added.  When the scale already matches, this
+        is a plain modulus drop; otherwise one level is spent on a
+        constant multiplication whose plaintext scale is chosen so the
+        following rescale lands *exactly* on ``scale``.
+        """
+        if level > ct.level:
+            raise ValueError("cannot raise a ciphertext's level")
+        if abs(ct.scale - scale) <= 1e-12 * scale:
+            return self.drop_to_level(ct, level)
+        if level + 1 > ct.level:
+            raise ValueError("scale correction needs one spare level")
+        ct = self.drop_to_level(ct, level + 1)
+        step_scale = self.params.step_at(ct.level).scale
+        pt_scale = scale * step_scale / ct.scale
+        pt = self.context.encode(
+            np.ones(self.params.slots), level=ct.level, scale=pt_scale
+        )
+        out = self.multiply_plain(ct, pt, rescale=True)
+        # Guard against float bookkeeping drift.
+        return Ciphertext(out.c0, out.c1, out.level, scale)
+
+    def match(self, a: Ciphertext, b: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two ciphertexts to a common exact (level, scale) point.
+
+        Free when the scales already agree; otherwise the shallower
+        operand is scale-corrected on the way down, and when both sit at
+        the same level one extra level is consumed.
+        """
+        target = min(a.level, b.level)
+        if abs(a.scale - b.scale) <= 1e-12 * max(a.scale, b.scale):
+            return self.drop_to_level(a, target), self.drop_to_level(b, target)
+        if a.level > target:
+            return self.adjust(a, target, b.scale), self.drop_to_level(b, target)
+        if b.level > target:
+            return self.drop_to_level(a, target), self.adjust(b, target, a.scale)
+        if target < 1:
+            raise ValueError("cannot reconcile scales at level 0")
+        a2 = self.adjust(a, target - 1, a.scale)
+        b2 = self.adjust(b, target - 1, a.scale)
+        return a2, b2
+
+    def consume_level(self, ct: Ciphertext) -> Ciphertext:
+        """Burn one level without changing the value or the scale.
+
+        Multiplies by an encoding of 1 at exactly the step scale, then
+        rescales — handy for driving ciphertexts to level 0 in tests and
+        workload schedules.
+        """
+        step_scale = self.params.step_at(ct.level).scale
+        pt = self.context.encode(
+            np.ones(self.params.slots), level=ct.level, scale=step_scale
+        )
+        out = self.multiply_plain(ct, pt, rescale=True)
+        return Ciphertext(out.c0, out.c1, out.level, ct.scale)
+
+    # -- rescaling ----------------------------------------------------------------
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Divide by the current step's prime (SS) or prime pair (DS)."""
+        if ct.level == 0:
+            raise ValueError("no rescaling levels left (bootstrap needed)")
+        step = self.params.step_at(ct.level)
+        c0 = self._rescale_poly(ct.c0, step.primes)
+        c1 = self._rescale_poly(ct.c1, step.primes)
+        return Ciphertext(c0, c1, ct.level - 1, ct.scale / step.scale)
+
+    def _rescale_poly(
+        self, poly: RnsPolynomial, dropped: tuple[int, ...]
+    ) -> RnsPolynomial:
+        """(poly - [poly]_drop) / drop over the remaining limbs (NTT form)."""
+        count = len(dropped)
+        remaining = poly.moduli[:-count]
+        if tuple(poly.moduli[-count:]) != tuple(dropped):
+            raise ValueError("chain tail does not match the rescale step")
+        tail = poly.keep_limbs(
+            range(len(poly.moduli) - count, len(poly.moduli))
+        ).from_ntt()
+        if count == 1:
+            centered = self._centered_residues(tail.limbs[0], dropped[0], remaining)
+        else:
+            centered = self._centered_crt_pair(tail.limbs, dropped, remaining)
+        correction = RnsPolynomial(
+            self.ring, remaining, centered, ntt_form=False
+        ).to_ntt()
+        drop_product = math.prod(dropped)
+        inv = [mod_inverse(drop_product % q, q) for q in remaining]
+        head = poly.keep_limbs(range(len(remaining)))
+        return (head - correction).scalar_mul(inv)
+
+    @staticmethod
+    def _centered_residues(values: np.ndarray, modulus: int, targets) -> np.ndarray:
+        """Reduce centered representatives of ``values mod modulus`` into each target."""
+        half = modulus // 2
+        over = values > half
+        rows = []
+        for q in targets:
+            r = values % np.uint64(q)
+            adj = (r + np.uint64(q) - np.uint64(modulus % q)) % np.uint64(q)
+            rows.append(np.where(over, adj, r))
+        return np.stack(rows)
+
+    @staticmethod
+    def _centered_crt_pair(limbs: np.ndarray, pair, targets) -> np.ndarray:
+        """Garner CRT over a DS prime pair, centered, reduced per target.
+
+        This is the double-word-accumulation step a DSU performs in
+        hardware (paper Eq. 4): values reach ``q_a * q_b < 2**62``.
+        """
+        qa, qb = int(pair[0]), int(pair[1])
+        a = limbs[0]
+        b = limbs[1]
+        qa_inv = mod_inverse(qa % qb, qb)
+        t = (b + np.uint64(qb) - a % np.uint64(qb)) * np.uint64(qa_inv) % np.uint64(qb)
+        x = a + np.uint64(qa) * t  # < qa*qb < 2**62
+        product = qa * qb
+        half = product // 2
+        over = x > half
+        rows = []
+        for q in targets:
+            r = x % np.uint64(q)
+            adj = (r + np.uint64(q) - np.uint64(product % q)) % np.uint64(q)
+            rows.append(np.where(over, adj, r))
+        return np.stack(rows)
+
+    # -- rotations -------------------------------------------------------------------
+
+    def rotate(self, ct: Ciphertext, amount: int) -> Ciphertext:
+        """HRot: cyclic left rotation of the message slots by ``amount``."""
+        slot_period = self.params.slots
+        amount %= slot_period
+        if amount == 0:
+            return ct
+        # Sparse packing: rotating the N/2-slot space by `amount` rotates
+        # each replicated copy of the message identically.
+        galois = self.ring.galois_element(amount)
+        return self._apply_automorphism(ct, galois)
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        return self._apply_automorphism(ct, self.ring.conjugation_element)
+
+    def _apply_automorphism(self, ct: Ciphertext, galois: int) -> Ciphertext:
+        c0 = ct.c0.automorphism(galois)
+        c1 = ct.c1.automorphism(galois)
+        u0, u1 = self.switcher.switch(c1, self.context.keys.galois_key(galois))
+        return Ciphertext(c0 + u0, u1, ct.level, ct.scale)

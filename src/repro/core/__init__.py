@@ -1,0 +1,11 @@
+"""The paper's S3 analysis and accelerator configurations."""
+
+from repro.core.config import AcceleratorConfig, sharp_config
+from repro.core.efficiency import best_word_length, efficiency_sweep
+
+__all__ = [
+    "AcceleratorConfig",
+    "sharp_config",
+    "best_word_length",
+    "efficiency_sweep",
+]

@@ -1,0 +1,7 @@
+"""Microarchitecture model: lowering, simulator, area/power."""
+
+from repro.hw.area import chip_area
+from repro.hw.isa import HeOp, OpKind, Trace
+from repro.hw.sim import SimulationResult, Simulator
+
+__all__ = ["chip_area", "HeOp", "OpKind", "Trace", "Simulator", "SimulationResult"]

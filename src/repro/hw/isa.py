@@ -1,0 +1,63 @@
+"""HE-operation trace format consumed by the performance simulator.
+
+A workload is a sequence of :class:`HeOp` records — the same
+"application expressed as a sequence of HE ops" interface the paper's
+cycle-level simulator consumes (S6.1).  Each op carries the active limb
+count (which encodes the level and the SS/DS realization), the limbs
+dropped by its trailing rescale, and an optional evaluation-key
+identity so the memory system can model evk reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["OpKind", "HeOp", "Trace"]
+
+
+class OpKind(Enum):
+    HADD = "hadd"
+    HMULT = "hmult"
+    PMULT = "pmult"
+    PMADD = "pmadd"  # fused PMult + HAdd (operation fusion, S5)
+    HROT = "hrot"
+    CONJ = "conj"
+    RESCALE = "rescale"
+    MOD_RAISE = "mod_raise"
+    DS_ACCUM = "ds_accum"  # double-prime scaling accumulation (DSU work)
+
+
+@dataclass(frozen=True)
+class HeOp:
+    """One primitive HE operation at a known chain position."""
+
+    kind: OpKind
+    limbs: int  # active q limbs when the op starts
+    drop: int = 0  # limbs dropped by the op's rescale (0 = none)
+    key_id: str | None = None  # evk identity for HMULT / HROT
+    count: float = 1.0  # repeat factor (identical ops fused in traces)
+
+    def scaled(self, factor: float) -> "HeOp":
+        return HeOp(self.kind, self.limbs, self.drop, self.key_id, self.count * factor)
+
+
+@dataclass
+class Trace:
+    """A named HE-op sequence plus bookkeeping the simulator needs."""
+
+    name: str
+    ops: list[HeOp] = field(default_factory=list)
+    # Peak number of live temporary ciphertexts at high (bootstrap)
+    # levels, for the working-set / BSGS spill model.
+    peak_temporaries: int = 4
+    bootstrap_fraction_hint: float | None = None
+    # Divide reported runtimes by this to get the paper's unit of work
+    # (per effective level for bootstrap, per iteration for HELR).
+    normalize: float = 1.0
+
+    def extend(self, ops) -> None:
+        self.ops.extend(ops)
+
+    def op_count(self) -> float:
+        return sum(op.count for op in self.ops)

@@ -1,0 +1,44 @@
+"""Energy/power constants for the performance simulator.
+
+Per-operation energies follow the ALU power model (quadratic-ish in
+word length); memory energies use 7 nm SRAM and HBM2e figures from the
+literature the paper cites ([Jouppi+ 21], [O'Connor+ 17]).  The single
+global calibration ties SHARP's simulated average power to the paper's
+94.7 W across the evaluation workloads.
+"""
+
+from __future__ import annotations
+
+from repro.core.alu_model import alu_power
+from repro.core.config import AcceleratorConfig
+
+__all__ = [
+    "mult_energy_j",
+    "add_energy_j",
+    "SRAM_J_PER_BYTE",
+    "HBM_J_PER_BYTE",
+    "NOC_J_PER_WORD_HIER",
+    "NOC_J_PER_WORD_FLAT",
+    "LEAKAGE_W_PER_MM2",
+]
+
+# 28-bit Montgomery multiplier dynamic energy at 7 nm, 1 GHz.
+_BASE_MULT_J = 1.05e-12
+_BASE_ADD_J = 0.04e-12
+
+SRAM_J_PER_BYTE = 1.9e-12
+HBM_J_PER_BYTE = 3.1e-11
+# NoC energy per word moved through an NTTU's networks: the flat design
+# drives 9x longer wires (paper S4.2), costing ~1.29x NTTU power overall.
+NOC_J_PER_WORD_HIER = 1.0e-12
+NOC_J_PER_WORD_FLAT = 4.5e-12
+LEAKAGE_W_PER_MM2 = 0.16
+
+
+def mult_energy_j(kind: str, word_bits: int) -> float:
+    """Dynamic energy of one modular multiplication."""
+    return _BASE_MULT_J * alu_power(kind, word_bits) / alu_power("montgomery", 28)
+
+
+def add_energy_j(word_bits: int) -> float:
+    return _BASE_ADD_J * word_bits / 28.0

@@ -1,0 +1,111 @@
+"""Register-file organization and AutoU addressing (paper S4.3).
+
+SHARP's RFs are heavily banked and always accessed *sequentially* over
+a whole limb (256 cycles), which lets small lane-group-wise counters
+replace cluster-wide address buses.  The single exception is
+automorphism, whose output ordering violates sequential access; the
+paper leans on the structural property of S4.3: reading one element
+per lane per cycle, the destinations map to 256 *distinct* lanes, so
+writes never contend.
+
+This module verifies that property against the *actual* automorphism
+permutations of :class:`repro.rns.poly.RingContext` — it follows from
+``(2k+1) -> (2k+1) * g mod 2N`` being an affine map with odd slope —
+and measures the destination lane-group fan-out that sizes the AutoU's
+per-lane-group reorder buffers (general rotations spread one source
+group over several destination groups; stride-aligned rotations map
+group-to-group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rns.poly import RingContext
+
+__all__ = ["RfBankModel", "automorphism_lane_profile", "AutomorphismLaneProfile"]
+
+
+@dataclass(frozen=True)
+class RfBankModel:
+    """A banked register file: one word per lane per cycle, 1R1W banks.
+
+    Words of a limb are distributed lane-major: element ``i`` lives in
+    lane ``i mod lanes`` and is touched at cycle ``i // lanes``;
+    consecutive cycles hit consecutive banks round-robin.
+    """
+
+    lanes: int
+    banks_per_lane_group: int
+    lane_group: int
+
+    @property
+    def lane_groups(self) -> int:
+        return self.lanes // self.lane_group
+
+    def bank_of(self, element_index: int) -> int:
+        return (element_index // self.lanes) % self.banks_per_lane_group
+
+    def conflict_free_sequential(self, degree: int) -> bool:
+        """Sequential limb access never double-hits a bank in a cycle."""
+        for idx in range(degree):
+            cycle = idx // self.lanes
+            if self.bank_of(idx) != cycle % self.banks_per_lane_group:
+                return False
+        return True
+
+    def bank_access_counts(self, degree: int) -> np.ndarray:
+        """Accesses per bank over a full limb — must be perfectly even."""
+        counts = np.zeros(self.banks_per_lane_group, dtype=np.int64)
+        for cycle in range(degree // self.lanes):
+            counts[cycle % self.banks_per_lane_group] += 1
+        return counts
+
+
+@dataclass(frozen=True)
+class AutomorphismLaneProfile:
+    """How an automorphism's output spreads across lanes (S4.3)."""
+
+    rotation: int
+    galois: int
+    distinct_destination_lanes: bool  # one write per lane per cycle
+    max_destination_groups: int  # reorder-buffer fan-out per source group
+
+
+def automorphism_lane_profile(
+    ring: RingContext,
+    rotation: int,
+    lanes: int = 256,
+    lane_group: int = 16,
+    sample_cycles: int = 4,
+) -> AutomorphismLaneProfile:
+    """Measure the AutoU lane traffic of one rotation."""
+    galois = ring.galois_element(rotation)
+    perm = ring.automorphism_eval_permutation(galois)
+    n = ring.degree
+    if n % lanes:
+        raise ValueError("degree must be a multiple of the lane count")
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n)  # inv[src slot] = output slot consuming it
+
+    distinct = True
+    max_groups = 1
+    cycles = n // lanes
+    for cycle in range(min(sample_cycles, cycles)):
+        srcs = np.arange(cycle * lanes, (cycle + 1) * lanes)
+        dest_lanes = inv[srcs] % lanes
+        if len(np.unique(dest_lanes)) != lanes:
+            distinct = False
+        src_groups = (srcs % lanes) // lane_group
+        dest_groups = dest_lanes // lane_group
+        for grp in range(lanes // lane_group):
+            fan_out = len(np.unique(dest_groups[src_groups == grp]))
+            max_groups = max(max_groups, fan_out)
+    return AutomorphismLaneProfile(
+        rotation=rotation,
+        galois=galois,
+        distinct_destination_lanes=distinct,
+        max_destination_groups=max_groups,
+    )

@@ -1,0 +1,256 @@
+"""Performance/energy simulator for FHE accelerator configurations.
+
+Follows the paper's methodology (S6.1): a workload arrives as a
+sequence of HE ops; each op lowers to per-functional-unit work
+(:mod:`repro.hw.lowering`); unit throughputs (Table 4) convert work to
+cycles.  Within one HE op the units run as a pipeline — the op's
+latency is its *bottleneck* unit's time — which is what the deeply
+pipelined INTT -> BConv -> NTT dataflow achieves in hardware.
+
+The memory system models:
+
+* evk streaming — each unique evaluation key is fetched from HBM once
+  (minimum-key-switching reuse, observation (10)) and streamed from
+  on-chip storage afterwards;
+* working-set spills — when the live ciphertexts at bootstrap levels
+  exceed the on-chip capacity, ops at those levels pay off-chip
+  re-fetch traffic unless memory-capacity-aware BSGS fine-tuning
+  (observation (12)) reshapes the schedule to fit.
+
+Outputs: runtime, per-unit utilization (Fig. 6(b)), off-chip traffic,
+energy and average power, and EDP/EDAP helpers (Figs. 7 and 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import AcceleratorConfig
+from repro.hw.area import chip_area
+from repro.hw.isa import HeOp, OpKind, Trace
+from repro.hw.lowering import FuWork, OpLowering
+from repro.hw.power import (
+    HBM_J_PER_BYTE,
+    LEAKAGE_W_PER_MM2,
+    NOC_J_PER_WORD_FLAT,
+    NOC_J_PER_WORD_HIER,
+    SRAM_J_PER_BYTE,
+    add_energy_j,
+    mult_energy_j,
+)
+from repro.params.presets import WordLengthSetting
+
+__all__ = ["SimulationResult", "Simulator"]
+
+FU_NAMES = ("nttu", "bconvu", "ewe", "autou", "dsu")
+
+# Fraction of non-bottleneck FU time that fails to overlap with the
+# bottleneck unit (dependency stalls in the primary-function pipeline).
+SERIALIZATION = 0.30
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run reports."""
+
+    name: str
+    config_name: str
+    cycles: float
+    seconds: float
+    fu_busy_cycles: dict
+    offchip_bytes: float
+    spill_bytes: float
+    energy_j: float
+    energy_breakdown: dict
+    area_mm2: float
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / self.seconds
+
+    @property
+    def utilization(self) -> dict:
+        return {
+            name: busy / self.cycles for name, busy in self.fu_busy_cycles.items()
+        }
+
+    @property
+    def edp(self) -> float:
+        return self.energy_j * self.seconds
+
+    @property
+    def edap(self) -> float:
+        return self.edp * self.area_mm2
+
+    def perf_per_area(self) -> float:
+        return 1.0 / (self.seconds * self.area_mm2)
+
+    def perf_per_watt(self) -> float:
+        return 1.0 / (self.seconds * self.power_w)
+
+
+class Simulator:
+    """Simulates traces on one accelerator configuration."""
+
+    def __init__(
+        self, config: AcceleratorConfig, setting: WordLengthSetting | None = None
+    ):
+        self.config = config
+        self.setting = setting if setting is not None else config.setting()
+        self.lowering = OpLowering(self.setting, prng_evk=config.prng_evk)
+        self.area = chip_area(config)
+
+    # -- per-op timing ------------------------------------------------------------
+
+    def _fu_cycles(self, work: FuWork) -> dict:
+        c = self.config
+        return {
+            "nttu": work.ntt_words / c.nttu_words_per_cycle,
+            "bconvu": work.bconv_macs / c.bconv_macs_per_cycle,
+            "ewe": max(
+                work.ew_mults / c.ew_mults_per_cycle,
+                work.ew_adds / max(c.ew_adds_per_lane * c.total_lanes, 1),
+            ),
+            "autou": work.auto_words / c.auto_words_per_cycle,
+            "dsu": work.dsu_words / c.total_lanes,
+        }
+
+    def _boot_limb_threshold(self) -> int:
+        """Limb count above which an op belongs to bootstrapping."""
+        s = self.setting
+        normal = s.group("normal")
+        return s.base_prime_count + normal.levels * normal.primes_per_level + 1
+
+    # -- the run loop ------------------------------------------------------------
+
+    def run(self, trace: Trace) -> SimulationResult:
+        config = self.config
+        setting = self.setting
+        word_bytes = setting.word_bits / 8.0
+        ct_bytes_per_limb = 2 * setting.degree * word_bytes
+
+        busy = {name: 0.0 for name in FU_NAMES}
+        total_cycles = 0.0
+        offchip = 0.0
+        spill = 0.0
+        seen_keys: set[str] = set()
+        boot_threshold = self._boot_limb_threshold()
+
+        evk_capacity = 0.35 * config.rf_main_bytes  # storage share for keys
+        evk_resident = 0.0
+
+        energy = {
+            "fu": 0.0,
+            "sram": 0.0,
+            "hbm": 0.0,
+            "noc": 0.0,
+        }
+        noc_j = (
+            NOC_J_PER_WORD_HIER if config.hierarchical_nttu else NOC_J_PER_WORD_FLAT
+        )
+
+        for op in trace.ops:
+            work = self.lowering.lower(op)
+            fu = self._fu_cycles(work)
+            # On-chip bandwidth can also bound the op.
+            rf_cycles = work.rf_words / config.onchip_bw_words
+            # The INTT -> BConv -> NTT chain pipelines imperfectly: a
+            # fraction of every non-bottleneck unit's time serializes
+            # behind the bottleneck (the stall the 2-D BConvU and the
+            # EWE were designed to shrink, S4.4-S4.5).
+            bottleneck = max(max(fu.values()), rf_cycles)
+            others = sum(fu.values()) - max(fu.values())
+            compute_cycles = bottleneck + SERIALIZATION * others
+
+            # Off-chip traffic for this op.
+            op_bytes = 0.0
+            if op.key_id is not None and work.evk_bytes > 0:
+                per_use = work.evk_bytes / op.count
+                if op.key_id not in seen_keys:
+                    seen_keys.add(op.key_id)
+                    evk_resident += per_use
+                    op_bytes += per_use  # first fetch
+                elif op.key_id != "mult" and evk_resident > evk_capacity:
+                    # Key set exceeds the residency budget: the compiler
+                    # reloads a key once per use-phase (one trace entry),
+                    # overlapping the stream with compute (obs. (10)).
+                    op_bytes += per_use
+
+            # Working-set management at bootstrap levels (observations
+            # (11)/(12)).  The BSGS subroutine holds (bs + 1) temporary
+            # ciphertexts plus the active evk on-chip; the balanced
+            # split is bs = gs = sqrt(D) with D = 64 (paper S5).
+            if op.limbs >= boot_threshold and op.kind in (
+                OpKind.HMULT,
+                OpKind.HROT,
+                OpKind.PMULT,
+                OpKind.PMADD,
+            ):
+                ct_bytes = op.limbs * ct_bytes_per_limb
+                evk_bytes = setting.evk_bytes(prng=config.prng_evk)
+                bs_gs_product = 64
+                bs = 8
+
+                def working_set(b: int) -> float:
+                    return (b + 1) * ct_bytes + evk_bytes
+
+                if working_set(bs) > config.onchip_capacity_bytes:
+                    if config.bsgs_finetune:
+                        # Shrink bs until the working set fits, paying
+                        # the O(bs + gs) compute increase instead of
+                        # off-chip traffic (observation (12)).
+                        b = bs
+                        while b > 1 and working_set(b) > config.onchip_capacity_bytes:
+                            b //= 2
+                        balanced_cost = bs + bs_gs_product / bs
+                        tuned_cost = b + bs_gs_product / b
+                        compute_cycles *= tuned_cost / balanced_cost
+                    else:
+                        overflow = 1.0 - config.onchip_capacity_bytes / working_set(
+                            bs
+                        )
+                        spilled = 2 * ct_bytes * overflow * op.count
+                        spill += spilled
+                        op_bytes += spilled
+
+            mem_cycles = (
+                op_bytes / config.offchip_bw_bytes * config.frequency_hz
+            )
+            op_cycles = max(compute_cycles, mem_cycles)
+            total_cycles += op_cycles
+            offchip += op_bytes
+            for name in FU_NAMES:
+                busy[name] += fu[name]
+
+            # Dynamic energy.
+            n = setting.degree
+            ntt_muls = work.ntt_words * math.log2(n) / 2.0
+            energy["fu"] += ntt_muls * mult_energy_j("montgomery", setting.word_bits)
+            energy["fu"] += (work.bconv_macs + work.ew_mults + work.dsu_words) * (
+                mult_energy_j("barrett", setting.word_bits)
+            )
+            energy["fu"] += (
+                work.ew_adds + work.bconv_macs
+            ) * add_energy_j(setting.word_bits)
+            energy["sram"] += work.rf_words * word_bytes * SRAM_J_PER_BYTE
+            energy["hbm"] += op_bytes * HBM_J_PER_BYTE
+            energy["noc"] += (work.ntt_words + work.auto_words) * noc_j
+
+        seconds = total_cycles / config.frequency_hz
+        leakage = LEAKAGE_W_PER_MM2 * self.area.total * seconds
+        total_energy = sum(energy.values()) + leakage
+        energy["leakage"] = leakage
+
+        return SimulationResult(
+            name=trace.name,
+            config_name=config.name,
+            cycles=total_cycles,
+            seconds=seconds,
+            fu_busy_cycles=busy,
+            offchip_bytes=offchip,
+            spill_bytes=spill,
+            energy_j=total_energy,
+            energy_breakdown=energy,
+            area_mm2=self.area.total,
+        )

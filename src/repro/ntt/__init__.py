@@ -1,0 +1,7 @@
+"""NTT engines: reference, four-step, and SHARP's ten-step."""
+
+from repro.ntt.fourstep import FourStepNtt
+from repro.ntt.reference import NttContext
+from repro.ntt.tenstep import TenStepNtt
+
+__all__ = ["NttContext", "FourStepNtt", "TenStepNtt"]

@@ -1,0 +1,87 @@
+"""Batched cyclic NTT plan — the building block of four/ten-step engines.
+
+The four-step decomposition (Bailey 1989) reduces an ``N``-point cyclic
+DFT to row/column DFTs of size ``sqrt(N)``; this module provides those
+inner transforms as batched operations along the last axis of a 2-D
+array, which is exactly how a vector NTTU streams a limb through its
+butterfly network one column per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ntt.reference import bit_reverse_indices
+from repro.rns.modmath import mod_inverse
+
+__all__ = ["CyclicPlan"]
+
+
+@dataclass
+class CyclicPlan:
+    """Cyclic (non-negacyclic) NTT of a fixed size modulo ``q``.
+
+    ``omega`` must be a primitive ``size``-th root of unity mod ``q``.
+    Transforms are natural-order on both sides and operate along the
+    last axis of the input (batched).
+    """
+
+    size: int
+    modulus: int
+    omega: int
+
+    def __post_init__(self):
+        n, q, w = self.size, self.modulus, self.omega
+        if n & (n - 1) or n < 1:
+            raise ValueError("size must be a power of two")
+        if pow(w, n, q) != 1 or (n > 1 and pow(w, n // 2, q) == 1):
+            raise ValueError("omega is not a primitive size-th root of unity")
+        rev = bit_reverse_indices(n)
+        powers = np.empty(n, dtype=np.uint64)
+        acc = 1
+        for i in range(n):
+            powers[i] = acc
+            acc = acc * w % q
+        w_inv = mod_inverse(w, q) if n > 1 else 1
+        inv_powers = np.empty(n, dtype=np.uint64)
+        acc = 1
+        for i in range(n):
+            inv_powers[i] = acc
+            acc = acc * w_inv % q
+        self._rev = rev
+        self._w_pows = powers
+        self._w_inv_pows = inv_powers
+        self.n_inv = mod_inverse(n, q)
+        self.omega_powers = powers
+
+    def _dif(self, values: np.ndarray, table: np.ndarray) -> np.ndarray:
+        """Gentleman-Sande DIF: natural in, bit-reversed out, batched."""
+        q = np.uint64(self.modulus)
+        a = np.ascontiguousarray(values, dtype=np.uint64).copy()
+        batch_shape = a.shape[:-1]
+        n = self.size
+        a = a.reshape(-1, n)
+        size = n
+        while size >= 2:
+            half = size // 2
+            stride = n // size
+            view = a.reshape(-1, n // size, size)
+            tw = table[:: stride][:half].reshape(1, 1, half)
+            u = view[:, :, :half].copy()
+            v = view[:, :, half:]
+            view[:, :, :half] = (u + v) % q
+            view[:, :, half:] = ((u + q - v) % q) * tw % q
+            size = half
+        return a[:, self._rev].reshape(*batch_shape, n)
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Cyclic DFT along the last axis, natural order in and out."""
+        return self._dif(values, self._w_pows)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse cyclic DFT along the last axis, natural order both sides."""
+        q = np.uint64(self.modulus)
+        out = self._dif(values, self._w_inv_pows)
+        return out * np.uint64(self.n_inv) % q

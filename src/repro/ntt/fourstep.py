@@ -1,0 +1,124 @@
+"""Four-step negacyclic NTT (the F1/CraterLake/ARK NTTU dataflow).
+
+Prior vector NTTUs (paper S4.2) pipeline an N-point negacyclic NTT as
+
+    twist -> sqrt(N)-point butterflies -> transpose -> twiddle (twisting)
+          -> sqrt(N)-point butterflies
+
+This module implements that dataflow bit-exactly:
+
+1. *Twist*: multiply coefficient ``j`` by ``psi**j`` (``psi`` a primitive
+   ``2N``-th root), converting the negacyclic transform into a cyclic
+   DFT with ``omega = psi**2``.
+2. *Bailey decomposition* of the cyclic DFT into column DFTs of size
+   ``R``, an element-wise multiplication by ``omega**(j1*k2)`` (the
+   "twisting factors": for each row ``j1`` a geometric sequence with
+   common ratio ``omega**j1`` — the property ARK's on-the-fly twist
+   generator exploits), a transpose, and row DFTs of size ``C``.
+
+The output matches :class:`repro.ntt.reference.NttContext.forward`
+element-for-element, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ntt.cyclic import CyclicPlan
+from repro.rns.modmath import mod_inverse, nth_root_of_unity
+
+__all__ = ["FourStepNtt"]
+
+
+@dataclass
+class FourStepNtt:
+    """Four-step negacyclic NTT over ``Z_q[X]/(X^N + 1)``.
+
+    ``rows`` x ``cols`` must equal the degree; both default to sqrt(N).
+    """
+
+    degree: int
+    modulus: int
+    rows: int | None = None
+    cols: int | None = None
+
+    def __post_init__(self):
+        n, q = self.degree, self.modulus
+        if n & (n - 1) or n < 4:
+            raise ValueError("degree must be a power of two >= 4")
+        if self.rows is None or self.cols is None:
+            half_bits = (n.bit_length() - 1) // 2
+            self.rows = 1 << half_bits
+            self.cols = n // self.rows
+        if self.rows * self.cols != n:
+            raise ValueError("rows * cols must equal the degree")
+
+        psi = nth_root_of_unity(2 * n, q)
+        omega = psi * psi % q
+        self.psi = psi
+        self.omega = omega
+        # Twist factors psi^j: one geometric sequence, ratio psi.
+        tw = np.empty(n, dtype=np.uint64)
+        acc = 1
+        for j in range(n):
+            tw[j] = acc
+            acc = acc * psi % q
+        self._twist = tw
+        inv_tw = np.empty(n, dtype=np.uint64)
+        psi_inv = mod_inverse(psi, q)
+        acc = 1
+        for j in range(n):
+            inv_tw[j] = acc
+            acc = acc * psi_inv % q
+        self._twist_inv = inv_tw
+
+        # Inter-phase twisting factors omega^(j1 * k2): row j1 is a
+        # geometric sequence with ratio omega^j1.
+        r, c = self.rows, self.cols
+        j1 = np.arange(r, dtype=object).reshape(r, 1)
+        k2 = np.arange(c, dtype=object).reshape(1, c)
+        mid = np.empty((r, c), dtype=np.uint64)
+        omega_pows_r = [pow(omega, int(x), q) for x in range(r)]
+        for i in range(r):
+            ratio = omega_pows_r[i]
+            acc = 1
+            for k in range(c):
+                mid[i, k] = acc
+                acc = acc * ratio % q
+        self._mid = mid
+        self._mid_inv = np.vectorize(lambda x: mod_inverse(int(x), q))(mid).astype(
+            np.uint64
+        )
+        del j1, k2
+
+        self._col_plan = CyclicPlan(c, q, pow(omega, r, q))
+        self._row_plan = CyclicPlan(r, q, pow(omega, c, q))
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT; natural order in and out, matches the reference."""
+        q = np.uint64(self.modulus)
+        n, r, c = self.degree, self.rows, self.cols
+        a = np.asarray(coeffs, dtype=np.uint64) * self._twist % q
+        # Matrix view: element (j2, j1) = a[j1 + r*j2]; axis0 = j2 (len c).
+        m = a.reshape(c, r)
+        # Step 1: column DFTs (over j2, for each j1) -> Y[k2][j1].
+        y = self._col_plan.forward(m.T).T
+        # Step 2: twisting factors omega^(j1*k2).
+        y = y * self._mid.T % q  # _mid is (r, c); y is (c, r)
+        # Step 3+4: transpose and row DFTs (over j1) -> T[k2][k1].
+        t = self._row_plan.forward(y)
+        # Output index k = k2 + c*k1  ->  natural order via transpose.
+        return np.ascontiguousarray(t.T).reshape(n)
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT; exact inverse of :meth:`forward`."""
+        q = np.uint64(self.modulus)
+        n, r, c = self.degree, self.rows, self.cols
+        t = np.asarray(evals, dtype=np.uint64).reshape(r, c).T.copy()
+        y = self._row_plan.inverse(t)
+        y = y * self._mid_inv.T % q
+        m = self._col_plan.inverse(y.T).T
+        a = m.reshape(n) * self._twist_inv % q
+        return a

@@ -1,0 +1,149 @@
+"""Reference negacyclic number-theoretic transform.
+
+The NTT maps a polynomial in ``Z_q[X]/(X^N + 1)`` to its evaluations at
+the odd powers of a primitive ``2N``-th root of unity ``psi``, turning
+negacyclic convolution into element-wise multiplication (paper S2.2).
+This module implements the merged Cooley-Tukey / Gentleman-Sande
+algorithms of Longa & Naehrig, vectorized with numpy, as the bit-exact
+golden model against which the architectural four-step and ten-step
+engines are validated.
+
+All moduli are assumed to be below ``2**31`` so that butterfly products
+fit ``uint64`` — the functional library's fast-path constraint (larger
+scales are realized with double-prime scaling; see
+:mod:`repro.params.presets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rns.modmath import mod_inverse, nth_root_of_unity
+
+__all__ = ["NttContext", "bit_reverse_indices"]
+
+_FAST_MODULUS_LIMIT = 1 << 31
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Index array ``r`` with ``r[i]`` = bit-reversal of ``i`` in log2(n) bits."""
+    if n & (n - 1) or n < 1:
+        raise ValueError("n must be a power of two")
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+@dataclass
+class NttContext:
+    """Per-modulus NTT plan: roots, twiddle tables, and transforms.
+
+    Forward/inverse transforms use the *natural* index order on both
+    sides; the evaluation at slot ``k`` is the polynomial evaluated at
+    ``psi ** (2 * bitrev(k) + 1)`` internally, but callers never need
+    that detail (paper observation (8): any consistent ordering works
+    for everything except (I)NTT and automorphism themselves).
+    """
+
+    degree: int
+    modulus: int
+
+    def __post_init__(self):
+        n, q = self.degree, self.modulus
+        if n & (n - 1) or n < 2:
+            raise ValueError("degree must be a power of two >= 2")
+        if q >= _FAST_MODULUS_LIMIT:
+            raise ValueError(
+                f"modulus {q} >= 2^31; the fast numpy path would overflow"
+            )
+        psi = nth_root_of_unity(2 * n, q)
+        rev = bit_reverse_indices(n)
+        powers = np.empty(n, dtype=np.uint64)
+        acc = 1
+        for i in range(n):
+            powers[i] = acc
+            acc = acc * psi % q
+        psi_inv = mod_inverse(psi, q)
+        inv_powers = np.empty(n, dtype=np.uint64)
+        acc = 1
+        for i in range(n):
+            inv_powers[i] = acc
+            acc = acc * psi_inv % q
+
+        self.psi = psi
+        self.psi_inv = psi_inv
+        self.n_inv = mod_inverse(n, q)
+        self._rev = rev
+        # Longa-Naehrig tables: psi powers in bit-reversed index order.
+        self._psi_rev = powers[rev].copy()
+        self._psi_inv_rev = inv_powers[rev].copy()
+
+    # -- core butterflies ---------------------------------------------------
+
+    def _forward_core(self, values: np.ndarray) -> np.ndarray:
+        """CT butterflies: natural-order input -> bit-reversed output."""
+        q = np.uint64(self.modulus)
+        a = np.ascontiguousarray(values, dtype=np.uint64).copy()
+        n = self.degree
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            view = a.reshape(m, 2 * t)
+            s = self._psi_rev[m : 2 * m].reshape(m, 1)
+            u = view[:, :t]
+            v = (view[:, t:] * s) % q
+            view[:, t:] = (u + q - v) % q
+            view[:, :t] = (u + v) % q
+            m *= 2
+        return a
+
+    def _inverse_core(self, values: np.ndarray) -> np.ndarray:
+        """GS butterflies: bit-reversed input -> natural output (scaled)."""
+        q = np.uint64(self.modulus)
+        a = np.ascontiguousarray(values, dtype=np.uint64).copy()
+        n = self.degree
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(h, 2 * t)
+            s = self._psi_inv_rev[h : 2 * h].reshape(h, 1)
+            u = view[:, :t].copy()
+            v = view[:, t:]
+            view[:, :t] = (u + v) % q
+            view[:, t:] = ((u + q - v) % q) * s % q
+            t *= 2
+            m = h
+        return a * np.uint64(self.n_inv) % q
+
+    # -- public natural-order API --------------------------------------------
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT, natural order in and out."""
+        return self._forward_core(coeffs)[self._rev]
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT, natural order in and out."""
+        return self._inverse_core(np.asarray(evals, dtype=np.uint64)[self._rev])
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Polynomial product in ``Z_q[X]/(X^N + 1)`` via the NTT."""
+        q = np.uint64(self.modulus)
+        fa = self._forward_core(a)
+        fb = self._forward_core(b)
+        return self._inverse_core(fa * fb % q)
+
+    def evaluation_points(self) -> np.ndarray:
+        """psi exponents evaluated at each natural-order output slot.
+
+        slot ``k`` of :meth:`forward` holds the evaluation of the input
+        polynomial at ``psi ** evaluation_points()[k]``.
+        """
+        n = self.degree
+        return (2 * np.arange(n, dtype=np.int64) + 1) % (2 * n)

@@ -1,0 +1,382 @@
+"""Word-length parameter settings (the paper's ``Set_k`` machinery, S3).
+
+A :class:`WordLengthSetting` materializes a complete 128-bit-secure
+RNS-CKKS modulus chain for a given machine word length: the base primes
+(never rescaled, hold the final message), the bootstrapping levels at
+the bootstrapping scale, the normal levels at the normal scale, and the
+auxiliary ``p_i`` primes for key-switching.  Each level is realized as
+single-prime scaling (SS) when a prime near the scale fits the word and
+as double-prime scaling (DS) otherwise.
+
+The effective level ``L_eff`` — the number of rescalings available
+between bootstrappings — is *derived*, by growing the chain until the
+``log PQ <= 1555`` security budget or NTT-prime availability is
+exhausted.  With the bootstrap depth model below, the derivation
+reproduces the paper's Fig. 2(b) row:
+
+    Set_28: 6,  Set_32: 5,  Set_36..Set_60: 8,  Set_64: 7
+
+with Set_36 landing on L = 35, K = 12, and 11 SS primes, exactly as
+reported in S3.2.
+
+Bootstrap depth model (calibrated to the paper's implementation
+[Bossuat+ 2022, Lattigo, ARK]): CoeffToSlot + EvalMod consume
+``BOOT_DEPTH_SS`` = 10 levels at the bootstrapping scale when that
+scale is a single prime; DS bootstrapping pays one extra level for the
+double-prime accumulation (the DSU's job, S4.5); settings that must
+*reduce* the bootstrapping scale below 2^62 (Set_28 -> 2^55) pay one
+more level, the paper's "slightly more complex bootstrapping algorithm
+[with] 1.05x more computation".  SlotToCoeff consumes ``STC_DEPTH`` = 3
+levels at the *normal* scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.params.primes import (
+    PrimeScarcityError,
+    find_aux_primes,
+    find_ds_pairs,
+    find_ss_primes,
+    min_ds_scale_bits,
+)
+from repro.params.security import max_log_pq
+
+__all__ = [
+    "LevelGroup",
+    "WordLengthSetting",
+    "build_setting",
+    "build_sharp_setting",
+    "WORD_LENGTHS",
+    "DEFAULT_NORMAL_SCALE_BITS",
+    "DEFAULT_BOOT_SCALE_BITS",
+    "BOOT_DEPTH_SS",
+    "STC_DEPTH",
+]
+
+WORD_LENGTHS = (28, 32, 36, 40, 44, 48, 52, 56, 60, 64)
+
+DEFAULT_NORMAL_SCALE_BITS = 35  # minimum robust normal scale (observation (1))
+DEFAULT_BOOT_SCALE_BITS = 62  # bootstrapping scale used by Set_32..Set_64
+REDUCED_BOOT_SCALE_BITS = 55  # Set_28's relieved bootstrapping scale
+BOOT_DEPTH_SS = 10  # CtS + EvalMod levels at the boot scale (SS realization)
+STC_DEPTH = 3  # SlotToCoeff levels at the normal scale
+BASE_LOG = 58  # modulus bits reserved for the never-rescaled base
+
+DEFAULT_DNUM = 3
+
+
+@dataclass(frozen=True)
+class LevelGroup:
+    """A run of rescaling levels sharing one scale and one SS/DS plan."""
+
+    name: str  # "base" | "boot" | "stc" | "normal"
+    scale_bits: float
+    levels: int
+    primes_per_level: int  # 1 = SS, 2 = DS
+    primes: tuple[int, ...]  # flat, level-major: len == levels * primes_per_level
+
+    @property
+    def is_double(self) -> bool:
+        return self.primes_per_level == 2
+
+    @property
+    def log_q(self) -> float:
+        return sum(math.log2(p) for p in self.primes)
+
+    def level_primes(self, index: int) -> tuple[int, ...]:
+        """The prime (or DS pair) consumed by the ``index``-th rescale."""
+        k = self.primes_per_level
+        return self.primes[index * k : (index + 1) * k]
+
+
+@dataclass(frozen=True)
+class WordLengthSetting:
+    """A complete ``Set_k`` parameter set (paper S3.2)."""
+
+    word_bits: int
+    degree: int
+    dnum: int
+    normal_scale_bits: float
+    boot_scale_bits: float
+    groups: tuple[LevelGroup, ...]
+    aux_primes: tuple[int, ...]
+    l_eff: int
+    security_budget: int
+
+    # --- chain-level accessors -------------------------------------------
+
+    @property
+    def q_primes(self) -> tuple[int, ...]:
+        """All RNS primes of Q, base first, then boot, stc, normal."""
+        out: list[int] = []
+        for g in self.groups:
+            out.extend(g.primes)
+        return tuple(out)
+
+    @property
+    def max_level(self) -> int:
+        """L: the number of q_i primes composing Q."""
+        return len(self.q_primes)
+
+    @property
+    def k(self) -> int:
+        """K: the number of p_i primes composing P."""
+        return len(self.aux_primes)
+
+    @property
+    def log_q(self) -> float:
+        return sum(math.log2(p) for p in self.q_primes)
+
+    @property
+    def log_p(self) -> float:
+        return sum(math.log2(p) for p in self.aux_primes)
+
+    @property
+    def log_pq(self) -> float:
+        return self.log_q + self.log_p
+
+    def group(self, name: str) -> LevelGroup:
+        for g in self.groups:
+            if g.name == name:
+                return g
+        raise KeyError(name)
+
+    @property
+    def ss_prime_count(self) -> int:
+        """Primes used in single-prime-scaling levels (excluding base)."""
+        return sum(
+            g.levels for g in self.groups if not g.is_double and g.name != "base"
+        )
+
+    @property
+    def ds_prime_count(self) -> int:
+        return sum(
+            g.levels * 2 for g in self.groups if g.is_double and g.name != "base"
+        )
+
+    @property
+    def base_prime_count(self) -> int:
+        return len(self.group("base").primes)
+
+    @property
+    def always_ds(self) -> bool:
+        """True when every rescaling level uses double-prime scaling."""
+        return all(g.is_double for g in self.groups if g.name != "base")
+
+    # --- storage sizes (paper S5, Fig. 5) --------------------------------
+
+    def word_bytes(self) -> float:
+        """Storage bytes per coefficient word (bit-packed, as in hardware)."""
+        return self.word_bits / 8.0
+
+    def ciphertext_bytes(self, level: int | None = None) -> float:
+        """Size of a ciphertext (2 polynomials of ``level`` limbs)."""
+        limbs = self.max_level if level is None else level
+        return 2 * limbs * self.degree * self.word_bytes()
+
+    def evk_bytes(self, prng: bool = False) -> float:
+        """Size of an evaluation key: dnum pairs of (L+K) x N matrices.
+
+        With CraterLake-style PRNG generation the ``A`` half of each
+        pair is regenerated from a seed, halving storage (S4.1).
+        """
+        polys_per_digit = 1 if prng else 2
+        return (
+            self.dnum
+            * polys_per_digit
+            * (self.max_level + self.k)
+            * self.degree
+            * self.word_bytes()
+        )
+
+    def boot_depth(self) -> int:
+        """Levels consumed at the bootstrapping scale (CtS + EvalMod)."""
+        return self.group("boot").levels
+
+    def describe(self) -> str:
+        g = {grp.name: grp for grp in self.groups}
+        lines = [
+            f"Set_{self.word_bits}: N=2^{int(math.log2(self.degree))}, "
+            f"dnum={self.dnum}, L={self.max_level}, K={self.k}, "
+            f"L_eff={self.l_eff}, logQ={self.log_q:.1f}, logP={self.log_p:.1f}, "
+            f"logPQ={self.log_pq:.1f} (budget {self.security_budget})",
+        ]
+        for name in ("base", "boot", "stc", "normal"):
+            grp = g[name]
+            kind = "DS" if grp.is_double else "SS"
+            lines.append(
+                f"  {name:>6}: {grp.levels:2d} levels x {kind} "
+                f"@ 2^{grp.scale_bits:g} ({len(grp.primes)} primes)"
+            )
+        return "\n".join(lines)
+
+
+def _boot_plan(word_bits: int) -> tuple[float, int]:
+    """(boot scale bits, boot depth) for a word length.
+
+    The boot scale is 2^62 realized as SS when a ~2^62 prime fits the
+    word, and as a DS pair (two ~2^31 primes) otherwise.  Words shorter
+    than 33 bits cannot host a 2^31 DS factor, so the scale drops to the
+    largest DS-realizable value (2^55 for 28-bit words) and the depth
+    grows to recover precision.
+    """
+    scale = float(DEFAULT_BOOT_SCALE_BITS)
+    if scale + 1 <= word_bits:  # SS prime near 2^62 fits
+        return scale, BOOT_DEPTH_SS
+    if scale / 2 + 1 <= word_bits:  # DS pair of ~2^31 primes fits
+        return scale, BOOT_DEPTH_SS + 1
+    # Largest DS-realizable scale: a pair of near-word-sized primes.
+    scale = float(min(REDUCED_BOOT_SCALE_BITS, 2 * word_bits - 1))
+    return scale, BOOT_DEPTH_SS + 2
+
+
+def _build_group(
+    name: str,
+    two_n: int,
+    scale_bits: float,
+    levels: int,
+    word_bits: int,
+    exclude: set[int],
+    force_ds: bool = False,
+) -> LevelGroup:
+    """Realize ``levels`` rescaling levels of one scale as SS or DS."""
+    if not force_ds:
+        try:
+            primes = find_ss_primes(
+                two_n, scale_bits, levels, word_bits, exclude=exclude
+            )
+            group = LevelGroup(name, scale_bits, levels, 1, tuple(primes))
+            exclude.update(group.primes)
+            return group
+        except PrimeScarcityError:
+            pass
+    pairs = find_ds_pairs(two_n, scale_bits, levels, word_bits, exclude=exclude)
+    flat = tuple(p for pair in pairs for p in pair)
+    group = LevelGroup(name, scale_bits, levels, 2, flat)
+    exclude.update(group.primes)
+    return group
+
+
+def _try_build(
+    word_bits: int,
+    degree: int,
+    dnum: int,
+    normal_scale_bits: float,
+    l_eff: int,
+    budget: int,
+) -> WordLengthSetting | None:
+    """Build a full chain for a candidate L_eff; None if over budget."""
+    two_n = 2 * degree
+    boot_scale, boot_depth = _boot_plan(word_bits)
+    boot_is_ds = boot_scale + 1 > word_bits
+    exclude: set[int] = set()
+
+    # Build the normal-scale groups first: their DS small-side primes are
+    # the scarce resource, and the plentiful boot/base pools must not be
+    # allowed to consume them.
+    stc = _build_group("stc", two_n, normal_scale_bits, STC_DEPTH, word_bits, exclude)
+    normal = _build_group(
+        "normal", two_n, normal_scale_bits, l_eff, word_bits, exclude
+    )
+    boot = _build_group("boot", two_n, boot_scale, boot_depth, word_bits, exclude)
+    # The base holds the final message and is never rescaled.  It is
+    # realized in the same style as bootstrapping: an SS base on a
+    # DS-bootstrapping word would introduce a needlessly large q_i and
+    # inflate every p_i (which must exceed max q_i), wrecking the budget.
+    base_log = min(BASE_LOG, boot_scale)
+    base = _build_group(
+        "base", two_n, float(base_log), 1, word_bits, exclude, force_ds=boot_is_ds
+    )
+
+    groups = (base, boot, stc, normal)
+    q_primes = [p for g in groups for p in g.primes]
+    L = len(q_primes)
+    K = math.ceil(L / dnum)
+    aux = find_aux_primes(two_n, K, min_value=max(q_primes), word_bits=word_bits)
+
+    setting = WordLengthSetting(
+        word_bits=word_bits,
+        degree=degree,
+        dnum=dnum,
+        normal_scale_bits=normal_scale_bits,
+        boot_scale_bits=boot_scale,
+        groups=groups,
+        aux_primes=tuple(aux),
+        l_eff=l_eff,
+        security_budget=budget,
+    )
+    if setting.log_pq > budget:
+        return None
+    return setting
+
+
+def build_setting(
+    word_bits: int,
+    degree: int = 1 << 16,
+    dnum: int = DEFAULT_DNUM,
+    normal_scale_bits: float = DEFAULT_NORMAL_SCALE_BITS,
+    max_l_eff: int = 40,
+) -> WordLengthSetting:
+    """Construct ``Set_{word_bits}`` with the largest feasible L_eff.
+
+    ``normal_scale_bits`` is a *minimum*: when the word cannot realize
+    it (SS does not fit, DS pairs scarce), the scale is raised to the
+    smallest supportable value, reproducing observation (3).
+    """
+    if word_bits < 24 or word_bits > 64:
+        raise ValueError("word length must be within [24, 64] bits")
+    two_n = 2 * degree
+    budget = max_log_pq(degree)
+
+    best: WordLengthSetting | None = None
+    for l_eff in range(1, max_l_eff + 1):
+        levels_needed = STC_DEPTH + l_eff
+        scale = _supportable_scale(
+            two_n, normal_scale_bits, levels_needed, word_bits
+        )
+        try:
+            setting = _try_build(word_bits, degree, dnum, scale, l_eff, budget)
+        except PrimeScarcityError:
+            break
+        if setting is None:
+            break
+        best = setting
+    if best is None:
+        raise PrimeScarcityError(
+            f"no feasible parameter set for {word_bits}-bit words at N={degree}"
+        )
+    return best
+
+
+def _supportable_scale(
+    two_n: int, requested_bits: float, levels: int, word_bits: int
+) -> float:
+    """Smallest realizable normal scale >= the requested one."""
+    # SS path: a prime near the scale must fit the word.
+    if requested_bits + 1 <= word_bits:
+        return requested_bits
+    # DS path: need `levels` distinct pairs.
+    min_bits = min_ds_scale_bits(two_n, levels, word_bits)
+    return float(max(min_bits, requested_bits))
+
+
+# Cache: settings at N=2^16 take a few seconds of prime search each.
+_SETTING_CACHE: dict[tuple, WordLengthSetting] = {}
+
+
+def build_sharp_setting(
+    word_bits: int = 36,
+    degree: int = 1 << 16,
+    dnum: int = DEFAULT_DNUM,
+    normal_scale_bits: float = DEFAULT_NORMAL_SCALE_BITS,
+) -> WordLengthSetting:
+    """Cached accessor for the settings used throughout the evaluation."""
+    key = (word_bits, degree, dnum, normal_scale_bits)
+    if key not in _SETTING_CACHE:
+        _SETTING_CACHE[key] = build_setting(
+            word_bits, degree, dnum, normal_scale_bits
+        )
+    return _SETTING_CACHE[key]

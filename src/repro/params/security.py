@@ -1,0 +1,37 @@
+"""Security budget model for RLWE/CKKS parameter selection.
+
+The security of CKKS is set by the ring degree ``N`` and the total
+modulus ``PQ`` (paper S2.3): for a fixed security target, fixing ``N``
+fixes the maximum ``log PQ``.  The paper operates at the standard
+128-bit classical target with the pair ``(N = 2**16, log PQ = 1555)``
+from [Bossuat+ 2021, Lattigo], and we adopt the same operating point.
+
+For other degrees we scale the budget linearly in ``N`` (the LWE
+hardness estimate is, to first order, linear in ``n / log q``), which
+matches the homomorphic encryption standard's table shape.  The reduced
+degrees are used only for *functional* experiments, where we do not
+claim cryptographic security — the budget is still enforced so level
+accounting behaves like the full-size system.
+"""
+
+from __future__ import annotations
+
+__all__ = ["max_log_pq", "SECURITY_BITS", "REFERENCE_N", "REFERENCE_LOG_PQ"]
+
+SECURITY_BITS = 128
+REFERENCE_N = 1 << 16
+REFERENCE_LOG_PQ = 1555  # the paper's [19, 40] 128-bit pair
+
+
+def max_log_pq(degree: int, security_bits: int = SECURITY_BITS) -> int:
+    """Largest permissible ``log2(PQ)`` for a ring degree at a target.
+
+    Anchored at the paper's ``(2**16, 1555)`` pair and scaled linearly
+    in ``N``.  Stronger targets shrink the budget proportionally to the
+    ratio of security levels (a standard first-order approximation).
+    """
+    if degree < 8 or degree & (degree - 1):
+        raise ValueError("degree must be a power of two >= 8")
+    budget = REFERENCE_LOG_PQ * degree / REFERENCE_N
+    budget *= SECURITY_BITS / security_bits
+    return int(budget)

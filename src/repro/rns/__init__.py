@@ -1,0 +1,6 @@
+"""RNS substrate: modular arithmetic, polynomials, base conversion."""
+
+from repro.rns.bconv import BaseConverter
+from repro.rns.poly import RingContext, RnsPolynomial
+
+__all__ = ["BaseConverter", "RingContext", "RnsPolynomial"]

@@ -1,0 +1,121 @@
+"""Fast RNS base conversion (BConv, paper S2.2).
+
+Converts a polynomial's residues from one RNS basis ``{q_i}`` to
+another ``{p_j}`` without leaving RNS:
+
+    BConv(a)_j = sum_i [ a_i * (Q/q_i)^(-1) ]_{q_i} * (Q/q_i  mod p_j)   (mod p_j)
+
+which is a matrix-matrix multiplication between the ``L x N`` limb
+matrix and a precomputed ``K x L`` *base table* — the computation
+SHARP's 2-D systolic BConvU streams (S4.5).  The conversion is the
+*approximate* (HPS-style) variant: the result may be off by a small
+multiple ``e * Q`` with ``0 <= e < L``, which downstream CKKS noise
+absorbs — the same behaviour as every RNS-CKKS library.
+
+BConv requires coefficient representation (the INTT -> BConv -> NTT
+pattern the paper's dataflow optimizes for).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rns.modmath import mod_inverse
+from repro.rns.poly import RingContext, RnsPolynomial
+
+__all__ = ["BaseConverter"]
+
+
+class BaseConverter:
+    """Precomputed base conversion from ``src_moduli`` to ``dst_moduli``.
+
+    The *centered* variant (default) estimates the CRT overflow count
+    ``e = round(sum_i y_i / q_i)`` in floating point and subtracts
+    ``e * Q``, producing the representative nearest zero.  Without it
+    the output carries a positive bias of up to ``L/2 * Q`` which — once
+    divided down in ModDown — becomes a low-frequency error that the
+    canonical embedding amplifies by ``O(N)`` in the worst slot.
+    """
+
+    def __init__(self, src_moduli, dst_moduli, centered: bool = True):
+        self.src_moduli = tuple(src_moduli)
+        self.dst_moduli = tuple(dst_moduli)
+        self.centered = centered
+        if set(self.src_moduli) & set(self.dst_moduli):
+            raise ValueError("source and destination bases must be disjoint")
+        q_big = 1
+        for q in self.src_moduli:
+            q_big *= q
+        # q_hat_i = Q / q_i ; inv_i = q_hat_i^(-1) mod q_i
+        self._inv = np.array(
+            [
+                mod_inverse((q_big // q) % q, q)
+                for q in self.src_moduli
+            ],
+            dtype=np.uint64,
+        )
+        # Base table: table[j][i] = q_hat_i mod p_j  (the K x L matrix).
+        self.table = np.array(
+            [
+                [(q_big // q) % p for q in self.src_moduli]
+                for p in self.dst_moduli
+            ],
+            dtype=np.uint64,
+        )
+        self._q_mod_dst = np.array(
+            [q_big % p for p in self.dst_moduli], dtype=np.uint64
+        )
+        self._src_inv_float = np.array(
+            [1.0 / q for q in self.src_moduli]
+        ).reshape(-1, 1)
+
+    @property
+    def flop_shape(self) -> tuple[int, int]:
+        """(K, L): the matrix dimensions a BConvU must stream."""
+        return (len(self.dst_moduli), len(self.src_moduli))
+
+    def convert(self, poly: RnsPolynomial) -> RnsPolynomial:
+        """Convert limbs to the destination basis (coefficient form only)."""
+        if poly.ntt_form:
+            raise ValueError("BConv requires the coefficient representation")
+        if poly.moduli != self.src_moduli:
+            raise ValueError("polynomial basis does not match the converter")
+        src_mods = np.array(self.src_moduli, dtype=np.uint64).reshape(-1, 1)
+        # y_i = [a_i * q_hat_i^(-1)]_{q_i}
+        y = poly.limbs * self._inv.reshape(-1, 1) % src_mods
+        if self.centered:
+            overflow = np.rint((y * self._src_inv_float).sum(axis=0)).astype(
+                np.uint64
+            )
+        out_rows = []
+        for j, p in enumerate(self.dst_moduli):
+            pj = np.uint64(p)
+            acc = np.zeros(poly.ring.degree, dtype=np.uint64)
+            for i in range(len(self.src_moduli)):
+                # Reduce each term before accumulating: terms < 2^31,
+                # so sums of up to 2^33 terms stay inside uint64.
+                acc += y[i] * self.table[j, i] % pj
+            if self.centered:
+                acc += (pj - self._q_mod_dst[j]) * overflow % pj
+            out_rows.append(acc % pj)
+        return RnsPolynomial(
+            poly.ring, self.dst_moduli, np.stack(out_rows), ntt_form=False
+        )
+
+
+class _ConverterCache:
+    """Process-wide cache keyed by (src, dst) bases."""
+
+    def __init__(self):
+        self._cache: dict[tuple, BaseConverter] = {}
+
+    def get(self, src_moduli, dst_moduli) -> BaseConverter:
+        key = (tuple(src_moduli), tuple(dst_moduli))
+        conv = self._cache.get(key)
+        if conv is None:
+            conv = BaseConverter(*key)
+            self._cache[key] = conv
+        return conv
+
+
+CONVERTERS = _ConverterCache()

@@ -1,0 +1,233 @@
+"""Modular arithmetic primitives used throughout the CKKS stack.
+
+SHARP's datapath is built from three ALU families (paper Fig. 2(a)):
+general multipliers, Montgomery modular multipliers [Montgomery 1985],
+and Barrett modular multipliers [Barrett 1986].  This module provides
+bit-exact software implementations of the reduction algorithms those
+units realize, so that the functional library exercises the very same
+arithmetic the accelerator would, plus scalar helpers (modular inverse,
+primitive roots) needed for NTT twiddle generation and RNS base
+conversion.
+
+All functions operate on Python ints or numpy object/int64 arrays; the
+vectorized NTT kernels in :mod:`repro.ntt` use numpy ``uint64``/Python
+int hybrids chosen per modulus width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "mod_inverse",
+    "mod_pow",
+    "is_probable_prime",
+    "find_primitive_root",
+    "nth_root_of_unity",
+    "BarrettReducer",
+    "MontgomeryReducer",
+    "mulmod",
+]
+
+
+def mod_pow(base: int, exponent: int, modulus: int) -> int:
+    """Modular exponentiation ``base ** exponent mod modulus``."""
+    return pow(base, exponent, modulus)
+
+
+def mod_inverse(value: int, modulus: int) -> int:
+    """Multiplicative inverse of ``value`` modulo a prime ``modulus``.
+
+    Raises ``ValueError`` when the inverse does not exist.
+    """
+    value %= modulus
+    if value == 0:
+        raise ValueError("0 has no modular inverse")
+    inv = pow(value, -1, modulus)
+    return inv
+
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish integers.
+
+    The witness set below is sufficient for all ``n < 3.3e24``, which
+    covers every RNS prime any word-length setting (28..64 bits) can
+    produce.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _SMALL_PRIMES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _factorize(n: int) -> list[int]:
+    """Distinct prime factors of ``n`` by trial division + recursion."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def find_primitive_root(prime: int) -> int:
+    """Smallest primitive root (generator) of ``Z_prime``."""
+    if prime == 2:
+        return 1
+    order = prime - 1
+    factors = _factorize(order)
+    candidate = 2
+    while True:
+        if all(pow(candidate, order // f, prime) != 1 for f in factors):
+            return candidate
+        candidate += 1
+
+
+def nth_root_of_unity(n: int, prime: int) -> int:
+    """A primitive ``n``-th root of unity modulo ``prime``.
+
+    Requires ``prime = 1 mod n`` (Eq. 3 in the paper, with ``n = 2N``).
+    """
+    if (prime - 1) % n != 0:
+        raise ValueError(f"{prime} != 1 mod {n}; no primitive {n}-th root exists")
+    g = find_primitive_root(prime)
+    root = pow(g, (prime - 1) // n, prime)
+    # g is a generator, so root has exact order n; assert the primitive half.
+    if pow(root, n // 2, prime) == 1:
+        raise ArithmeticError("root is not primitive")  # pragma: no cover
+    return root
+
+
+def mulmod(a, b, modulus: int):
+    """Elementwise ``a * b mod modulus`` for ints or numpy arrays.
+
+    For moduli below 2**31 the product of two residues fits in uint64 and
+    the fast numpy path is used; otherwise we fall back to Python object
+    arithmetic (exact, arbitrary precision).
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if modulus < (1 << 31):
+            a64 = np.asarray(a, dtype=np.uint64)
+            b64 = np.asarray(b, dtype=np.uint64)
+            return (a64 * b64) % np.uint64(modulus)
+        ao = np.asarray(a, dtype=object)
+        bo = np.asarray(b, dtype=object)
+        return (ao * bo) % modulus
+    return a * b % modulus
+
+
+@dataclass(frozen=True)
+class BarrettReducer:
+    """Barrett modular reduction, the EWE/BConvU reduction algorithm.
+
+    Precomputes ``mu = floor(4**w / q)`` for a modulus ``q`` of bit
+    length ``w`` and reduces any ``x < q**2`` with two multiplications
+    and at most two conditional subtractions — exactly the structure
+    the synthesized Barrett modular multiplier of Fig. 2(a) has.
+    """
+
+    modulus: int
+
+    def __post_init__(self):
+        if self.modulus < 3:
+            raise ValueError("modulus must be >= 3")
+        w = self.modulus.bit_length()
+        object.__setattr__(self, "_shift", 2 * w)
+        object.__setattr__(self, "_mu", (1 << (2 * w)) // self.modulus)
+
+    @property
+    def word_bits(self) -> int:
+        return self.modulus.bit_length()
+
+    def reduce(self, x: int) -> int:
+        """Reduce ``0 <= x < modulus**2`` to ``x mod modulus``."""
+        q = self.modulus
+        t = x - ((x * self._mu) >> self._shift) * q
+        if t >= q:
+            t -= q
+        if t >= q:  # Barrett error bound allows one extra subtraction
+            t -= q
+        assert 0 <= t < q
+        return t
+
+    def mul(self, a: int, b: int) -> int:
+        """Modular multiplication via Barrett reduction."""
+        return self.reduce((a % self.modulus) * (b % self.modulus))
+
+
+@dataclass(frozen=True)
+class MontgomeryReducer:
+    """Montgomery modular multiplication, the NTTU butterfly algorithm.
+
+    Uses ``R = 2**r`` with ``r`` the modulus word size.  Operands are
+    mapped into the Montgomery domain (``a*R mod q``); ``mul`` multiplies
+    two domain values and returns a domain value, matching the twiddle
+    pre-scaling trick hardware NTTUs use.
+    """
+
+    modulus: int
+
+    def __post_init__(self):
+        q = self.modulus
+        if q % 2 == 0:
+            raise ValueError("Montgomery reduction requires an odd modulus")
+        r_bits = q.bit_length()
+        R = 1 << r_bits
+        q_inv = mod_inverse(q, R)
+        object.__setattr__(self, "_r_bits", r_bits)
+        object.__setattr__(self, "_mask", R - 1)
+        object.__setattr__(self, "_q_neg_inv", (-q_inv) % R)
+        object.__setattr__(self, "_r2", (R * R) % q)
+
+    @property
+    def r_bits(self) -> int:
+        return self._r_bits
+
+    def to_domain(self, a: int) -> int:
+        return self.redc((a % self.modulus) * self._r2)
+
+    def from_domain(self, a_mont: int) -> int:
+        return self.redc(a_mont)
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction of ``0 <= t < q * R``: returns ``t/R mod q``."""
+        m = (t & self._mask) * self._q_neg_inv & self._mask
+        u = (t + m * self.modulus) >> self._r_bits
+        if u >= self.modulus:
+            u -= self.modulus
+        return u
+
+    def mul(self, a_mont: int, b_mont: int) -> int:
+        """Product of two Montgomery-domain values, in the domain."""
+        return self.redc(a_mont * b_mont)
+
+    def mul_plain(self, a: int, b: int) -> int:
+        """Plain-domain modular multiplication routed through REDC."""
+        return self.from_domain(self.mul(self.to_domain(a), self.to_domain(b)))

@@ -1,0 +1,284 @@
+"""RNS polynomial arithmetic over cyclotomic rings.
+
+A polynomial in ``R_Q = Z_Q[X]/(X^N + 1)`` with ``Q = q_0 * ... *
+q_{L-1}`` is stored as an ``L x N`` matrix of residues (paper S2.2):
+row ``i`` — a *limb* — is the polynomial reduced mod ``q_i``.  Limbs are
+independent, so every ring operation is a batch of per-limb vector
+operations, exactly the parallelism an FHE accelerator's lanes exploit.
+
+Polynomials carry a representation flag: *coefficient* or *evaluation*
+(NTT-applied).  Element-wise ops work in either (both operands must
+match); ring multiplication requires the evaluation representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ntt.reference import NttContext
+from repro.rns.modmath import mod_inverse
+
+__all__ = ["RingContext", "RnsPolynomial"]
+
+
+class RingContext:
+    """Shared per-ring state: NTT plans and automorphism index maps.
+
+    One context serves every modulus chain over the same degree; NTT
+    plans and permutation tables are created lazily and cached.
+    """
+
+    def __init__(self, degree: int):
+        if degree & (degree - 1) or degree < 4:
+            raise ValueError("degree must be a power of two >= 4")
+        self.degree = degree
+        self._ntt: dict[int, NttContext] = {}
+        self._auto_eval: dict[int, np.ndarray] = {}
+        self._auto_coeff: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def ntt(self, modulus: int) -> NttContext:
+        plan = self._ntt.get(modulus)
+        if plan is None:
+            plan = NttContext(self.degree, modulus)
+            self._ntt[modulus] = plan
+        return plan
+
+    def galois_element(self, rotation: int) -> int:
+        """The ring automorphism exponent for a cyclic slot rotation.
+
+        Rotating message slots left by ``r`` corresponds to the map
+        ``X -> X**(5**r mod 2N)``; conjugation to ``X -> X**(2N - 1)``.
+        """
+        n2 = 2 * self.degree
+        return pow(5, rotation % self.degree, n2)
+
+    @property
+    def conjugation_element(self) -> int:
+        return 2 * self.degree - 1
+
+    def automorphism_eval_permutation(self, galois: int) -> np.ndarray:
+        """Index map applying ``X -> X**galois`` in evaluation form.
+
+        Slot ``k`` of the output takes the input slot whose evaluation
+        point is ``psi**((2k+1) * galois)`` — automorphism is a pure
+        lane permutation in the evaluation representation, the property
+        SHARP's AutoU exploits (S4.3).
+        """
+        perm = self._auto_eval.get(galois)
+        if perm is None:
+            n = self.degree
+            k = np.arange(n, dtype=np.int64)
+            src = ((2 * k + 1) * galois % (2 * n) - 1) // 2
+            perm = src
+            self._auto_eval[galois] = perm
+        return perm
+
+    def automorphism_coeff_maps(self, galois: int) -> tuple[np.ndarray, np.ndarray]:
+        """(destination index, sign) arrays for coefficient-form automorphism.
+
+        Coefficient ``i`` lands at ``i * galois mod 2N``; exponents at or
+        above ``N`` wrap with a sign flip because ``X**N = -1``.
+        """
+        maps = self._auto_coeff.get(galois)
+        if maps is None:
+            n = self.degree
+            i = np.arange(n, dtype=np.int64)
+            e = i * galois % (2 * n)
+            dest = np.where(e < n, e, e - n)
+            negate = e >= n
+            maps = (dest, negate)
+            self._auto_coeff[galois] = maps
+        return maps
+
+
+@dataclass
+class RnsPolynomial:
+    """An RNS polynomial: ``len(moduli)`` limbs of ``ring.degree`` words.
+
+    ``limbs`` has shape ``(len(moduli), degree)`` and dtype ``uint64``;
+    residues are canonical (``0 <= limb < q_i``).  Instances are
+    immutable by convention — all operations return new polynomials.
+    """
+
+    ring: RingContext
+    moduli: tuple[int, ...]
+    limbs: np.ndarray
+    ntt_form: bool
+
+    def __post_init__(self):
+        expected = (len(self.moduli), self.ring.degree)
+        if self.limbs.shape != expected:
+            raise ValueError(f"limb matrix shape {self.limbs.shape} != {expected}")
+        if self.limbs.dtype != np.uint64:
+            raise TypeError("limbs must be uint64")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(
+        cls, ring: RingContext, moduli: tuple[int, ...], ntt_form: bool = True
+    ) -> "RnsPolynomial":
+        return cls(
+            ring,
+            tuple(moduli),
+            np.zeros((len(moduli), ring.degree), dtype=np.uint64),
+            ntt_form,
+        )
+
+    @classmethod
+    def from_int_coeffs(
+        cls, ring: RingContext, moduli: tuple[int, ...], coeffs
+    ) -> "RnsPolynomial":
+        """Reduce signed integer coefficients into every limb (coeff form).
+
+        ``coeffs`` may be a list of Python ints (arbitrary precision) or
+        an integer numpy array of length ``degree``.
+        """
+        moduli = tuple(moduli)
+        rows = []
+        if isinstance(coeffs, np.ndarray) and coeffs.dtype != object:
+            signed = coeffs.astype(np.int64)
+            for q in moduli:
+                rows.append(np.mod(signed, q).astype(np.uint64))
+        else:
+            arr = np.array([int(c) for c in coeffs], dtype=object)
+            for q in moduli:
+                rows.append((arr % q).astype(np.uint64))
+        return cls(ring, moduli, np.stack(rows), ntt_form=False)
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.ring, self.moduli, self.limbs.copy(), self.ntt_form)
+
+    # -- representation changes -----------------------------------------------
+
+    def to_ntt(self) -> "RnsPolynomial":
+        if self.ntt_form:
+            return self
+        rows = [
+            self.ring.ntt(q).forward(self.limbs[i])
+            for i, q in enumerate(self.moduli)
+        ]
+        return RnsPolynomial(self.ring, self.moduli, np.stack(rows), True)
+
+    def from_ntt(self) -> "RnsPolynomial":
+        if not self.ntt_form:
+            return self
+        rows = [
+            self.ring.ntt(q).inverse(self.limbs[i])
+            for i, q in enumerate(self.moduli)
+        ]
+        return RnsPolynomial(self.ring, self.moduli, np.stack(rows), False)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.moduli != other.moduli:
+            raise ValueError("modulus chains differ")
+        if self.ntt_form != other.ntt_form:
+            raise ValueError("representations differ (coeff vs evaluation)")
+
+    def _mods(self) -> np.ndarray:
+        return np.array(self.moduli, dtype=np.uint64).reshape(-1, 1)
+
+    def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        q = self._mods()
+        return RnsPolynomial(
+            self.ring, self.moduli, (self.limbs + other.limbs) % q, self.ntt_form
+        )
+
+    def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        q = self._mods()
+        return RnsPolynomial(
+            self.ring,
+            self.moduli,
+            (self.limbs + q - other.limbs) % q,
+            self.ntt_form,
+        )
+
+    def __neg__(self) -> "RnsPolynomial":
+        q = self._mods()
+        return RnsPolynomial(
+            self.ring, self.moduli, (q - self.limbs) % q, self.ntt_form
+        )
+
+    def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Ring product; both operands must be in evaluation form."""
+        self._check_compatible(other)
+        if not self.ntt_form:
+            raise ValueError("ring multiplication requires evaluation form")
+        q = self._mods()
+        return RnsPolynomial(
+            self.ring, self.moduli, self.limbs * other.limbs % q, True
+        )
+
+    def scalar_mul(self, scalars) -> "RnsPolynomial":
+        """Multiply limb ``i`` by ``scalars[i]`` (or one shared scalar)."""
+        if np.isscalar(scalars):
+            svec = [int(scalars) % q for q in self.moduli]
+        else:
+            svec = [int(s) % q for s, q in zip(scalars, self.moduli)]
+        s = np.array(svec, dtype=np.uint64).reshape(-1, 1)
+        q = self._mods()
+        return RnsPolynomial(
+            self.ring, self.moduli, self.limbs * s % q, self.ntt_form
+        )
+
+    # -- chain surgery -----------------------------------------------------------
+
+    def drop_limbs(self, count: int) -> "RnsPolynomial":
+        """Remove the last ``count`` limbs (modulus reduction, no rescale)."""
+        if count <= 0 or count >= len(self.moduli):
+            raise ValueError("must drop between 1 and len-1 limbs")
+        return RnsPolynomial(
+            self.ring,
+            self.moduli[:-count],
+            self.limbs[:-count].copy(),
+            self.ntt_form,
+        )
+
+    def keep_limbs(self, indices) -> "RnsPolynomial":
+        idx = list(indices)
+        return RnsPolynomial(
+            self.ring,
+            tuple(self.moduli[i] for i in idx),
+            self.limbs[idx].copy(),
+            self.ntt_form,
+        )
+
+    # -- automorphism -----------------------------------------------------------
+
+    def automorphism(self, galois: int) -> "RnsPolynomial":
+        """Apply ``X -> X**galois`` (``galois`` odd) in either representation."""
+        if galois % 2 == 0:
+            raise ValueError("galois element must be odd")
+        if self.ntt_form:
+            perm = self.ring.automorphism_eval_permutation(galois)
+            return RnsPolynomial(
+                self.ring, self.moduli, self.limbs[:, perm].copy(), True
+            )
+        dest, negate = self.ring.automorphism_coeff_maps(galois)
+        q = self._mods()
+        out = np.zeros_like(self.limbs)
+        vals = np.where(negate, (q - self.limbs) % q, self.limbs)
+        out[:, dest] = vals
+        return RnsPolynomial(self.ring, self.moduli, out, False)
+
+    # -- reconstruction (for decryption / testing) -------------------------------
+
+    def to_int_coeffs(self) -> list[int]:
+        """CRT-reconstruct signed centered coefficients (Python ints)."""
+        poly = self.from_ntt()
+        q_big = 1
+        for q in poly.moduli:
+            q_big *= q
+        acc = np.zeros(self.ring.degree, dtype=object)
+        for i, q in enumerate(poly.moduli):
+            other = q_big // q
+            factor = other * mod_inverse(other % q, q)
+            acc = (acc + poly.limbs[i].astype(object) * factor) % q_big
+        half = q_big // 2
+        return [int(a) - q_big if a > half else int(a) for a in acc]

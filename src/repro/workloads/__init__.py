@@ -1,0 +1,5 @@
+"""Evaluation workloads: traces for the simulator, functional runs."""
+
+from repro.workloads.traces import evaluation_traces
+
+__all__ = ["evaluation_traces"]

@@ -1,0 +1,241 @@
+"""HE-op trace generators for the evaluation workloads (paper S6.1).
+
+Each generator produces a :class:`repro.hw.isa.Trace` at the target
+parameter set (the full-size ``Set_k`` chains): *bootstrapping*
+(amortized per effective level), *HELR* logistic-regression training
+iterations at batch 256/1024, *ResNet-20* inference, *two-way bitonic
+sorting* of 2^14 elements, and the *narrow*/*wide* synthetic workloads
+of S3.2.
+
+The :class:`TraceBuilder` tracks the level cursor through the normal
+region and transparently inserts a full bootstrapping sequence whenever
+the chain is exhausted — matching how the paper's compiler schedules
+FHE programs (all workloads spend 59-95% of their time bootstrapping).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.isa import HeOp, OpKind, Trace
+from repro.params.presets import WordLengthSetting
+
+__all__ = [
+    "TraceBuilder",
+    "bootstrap_trace",
+    "helr_trace",
+    "resnet20_trace",
+    "sorting_trace",
+    "synthetic_trace",
+    "evaluation_traces",
+]
+
+# Bootstrap pipeline constants, mirroring repro.core.opcount.
+CTS_STAGES = 3
+STC_STAGES = 3
+LT_ROTATIONS_PER_STAGE = 8
+LT_PMULTS_PER_STAGE = 16
+EVALMOD_HMULTS = 20
+EVALMOD_PMULTS = 40
+
+
+def _bootstrap_ops(setting: WordLengthSetting) -> list[HeOp]:
+    """The HE-op sequence of one full bootstrapping invocation."""
+    ops: list[HeOp] = []
+    base = setting.base_prime_count
+    boot = setting.group("boot")
+    stc = setting.group("stc")
+    normal = setting.group("normal")
+
+    total = setting.max_level
+    ops.append(HeOp(OpKind.MOD_RAISE, total))
+
+    limbs = total
+    # CtS stages at the top boot levels.
+    cts_levels = min(CTS_STAGES, boot.levels)
+    for stage in range(cts_levels):
+        drop = boot.primes_per_level
+        for r in range(LT_ROTATIONS_PER_STAGE):
+            ops.append(HeOp(OpKind.HROT, limbs, key_id=f"boot_cts{stage}_{r}"))
+        ops.append(
+            HeOp(OpKind.PMULT, limbs, drop=drop, count=LT_PMULTS_PER_STAGE)
+        )
+        limbs -= drop
+
+    evalmod_levels = boot.levels - cts_levels
+    if evalmod_levels:
+        hm = EVALMOD_HMULTS / evalmod_levels
+        pm = EVALMOD_PMULTS / evalmod_levels
+        for _ in range(evalmod_levels):
+            drop = boot.primes_per_level
+            ops.append(HeOp(OpKind.HMULT, limbs, drop=drop, key_id="mult", count=hm))
+            ops.append(HeOp(OpKind.PMULT, limbs, drop=drop, count=pm))
+            limbs -= drop
+
+    for stage in range(min(STC_STAGES, stc.levels)):
+        drop = stc.primes_per_level
+        for r in range(LT_ROTATIONS_PER_STAGE):
+            ops.append(HeOp(OpKind.HROT, limbs, key_id=f"boot_stc{stage}_{r}"))
+        ops.append(HeOp(OpKind.PMULT, limbs, drop=drop, count=LT_PMULTS_PER_STAGE))
+        limbs -= drop
+
+    assert limbs == base + normal.levels * normal.primes_per_level
+    return ops
+
+
+@dataclass
+class TraceBuilder:
+    """Builds application traces with automatic bootstrap insertion."""
+
+    setting: WordLengthSetting
+    name: str
+    peak_temporaries: int = 6
+
+    def __post_init__(self):
+        self._normal = self.setting.group("normal")
+        self._level = self._normal.levels  # normal levels remaining
+        self._ops: list[HeOp] = []
+        self.bootstrap_count = 0
+
+    @property
+    def limbs(self) -> int:
+        return (
+            self.setting.base_prime_count
+            + self._level * self._normal.primes_per_level
+        )
+
+    def _ensure_levels(self, needed: int) -> None:
+        if self._level < needed:
+            self._ops.extend(_bootstrap_ops(self.setting))
+            self._level = self._normal.levels
+            self.bootstrap_count += 1
+
+    def op(
+        self,
+        kind: OpKind,
+        key_id: str | None = None,
+        consumes: int = 0,
+        count: float = 1.0,
+    ) -> None:
+        """Append ``count`` identical ops, consuming ``consumes`` levels each."""
+        self._ensure_levels(consumes if consumes else 1)
+        drop = self._normal.primes_per_level if consumes else 0
+        self._ops.append(HeOp(kind, self.limbs, drop=drop, key_id=key_id, count=count))
+        self._level -= consumes
+
+    def rotations(self, how_many: int, tag: str) -> None:
+        for r in range(how_many):
+            self.op(OpKind.HROT, key_id=f"{tag}_{r}")
+
+    def build(self) -> Trace:
+        return Trace(
+            name=self.name, ops=self._ops, peak_temporaries=self.peak_temporaries
+        )
+
+
+def bootstrap_trace(setting: WordLengthSetting) -> Trace:
+    """One bootstrapping invocation, normalized per effective level."""
+    return Trace(
+        name="bootstrap",
+        ops=_bootstrap_ops(setting),
+        peak_temporaries=6,
+        normalize=setting.group("normal").levels,
+    )
+
+
+def helr_trace(
+    setting: WordLengthSetting, batch: int = 1024, iterations: int = 4
+) -> Trace:
+    """HELR training iterations (logistic regression, 196 features).
+
+    Per iteration: inner products of the packed batch against the
+    weights (rotation ladders), a degree-7 sigmoid, and the gradient
+    update — scaled by the number of ciphertexts the batch occupies.
+    Several iterations run back to back so the level cursor depletes
+    and bootstrapping is charged at its steady-state rate; runtimes
+    are normalized per iteration.
+    """
+    b = TraceBuilder(setting, f"helr{batch}", peak_temporaries=6)
+    streams = max(1, batch // 256)
+    features_log = 8  # ceil(log2(196))
+    for _it in range(iterations):
+        for s in range(streams):
+            # Inner product: rotate-and-accumulate over feature lanes.
+            b.rotations(features_log, f"ip{s}")
+            b.op(OpKind.PMADD, consumes=1, count=features_log)
+            # Sigmoid (degree 7 polynomial: 3 mult depth).
+            b.op(OpKind.HMULT, key_id="mult", consumes=1, count=2)
+            b.op(OpKind.HMULT, key_id="mult", consumes=1, count=2)
+            b.op(OpKind.HMULT, key_id="mult", consumes=1, count=1)
+            # Gradient: multiply by inputs and reduce across the batch.
+            b.op(OpKind.PMULT, consumes=1, count=2)
+            b.rotations(features_log, f"grad{s}")
+            b.op(OpKind.PMADD, consumes=1, count=2)
+            # Weight update.
+            b.op(OpKind.HADD, count=2)
+    trace = b.build()
+    trace.normalize = iterations
+    return trace
+
+
+def resnet20_trace(setting: WordLengthSetting) -> Trace:
+    """ResNet-20 CIFAR-10 inference (multiplexed-convolution style [75]).
+
+    Twenty convolution layers, each a BSGS linear transform over the
+    packed image plus a high-degree polynomial ReLU; bootstraps are
+    inserted whenever the chain runs dry, giving the dozens of
+    bootstrap invocations the paper's 59-95% boot share reflects.
+    """
+    b = TraceBuilder(setting, "resnet20", peak_temporaries=8)
+    for layer in range(20):
+        # Multiplexed convolution: rotations + plaintext MACs.
+        b.rotations(12, f"conv{layer}")
+        b.op(OpKind.PMADD, consumes=1, count=27)
+        b.op(OpKind.HADD, count=4)
+        # Polynomial ReLU approximation (composite minimax, depth ~5).
+        for _ in range(5):
+            b.op(OpKind.HMULT, key_id="mult", consumes=1, count=2)
+        b.op(OpKind.PMULT, consumes=1, count=2)
+    # Final pooling + fully connected layer.
+    b.rotations(6, "pool")
+    b.op(OpKind.PMADD, consumes=1, count=4)
+    return b.build()
+
+
+def sorting_trace(setting: WordLengthSetting, log_elems: int = 14) -> Trace:
+    """Two-way bitonic sorting of 2^14 packed values [52].
+
+    ``k*(k+1)/2`` comparator stages; each stage evaluates a composite
+    sign polynomial (depth ~8) on rotated pairs.
+    """
+    b = TraceBuilder(setting, "sorting", peak_temporaries=4)
+    stages = log_elems * (log_elems + 1) // 2
+    for stage in range(stages):
+        b.rotations(2, f"sort{stage % 16}")
+        # Composite minimax sign: f3(g3(x)) style, ~8 squarings/mults.
+        for _ in range(4):
+            b.op(OpKind.HMULT, key_id="mult", consumes=1, count=2)
+        b.op(OpKind.PMULT, consumes=1, count=2)
+        b.op(OpKind.HADD, count=3)
+    return b.build()
+
+
+def synthetic_trace(setting: WordLengthSetting, hmults_per_level: int) -> Trace:
+    """The paper's narrow (1) / wide (30) synthetic workloads."""
+    label = "narrow" if hmults_per_level == 1 else f"wide{hmults_per_level}"
+    b = TraceBuilder(setting, label, peak_temporaries=4 if hmults_per_level == 1 else 8)
+    for _ in range(setting.group("normal").levels):
+        b.op(OpKind.HMULT, key_id="mult", consumes=1, count=hmults_per_level)
+    return b.build()
+
+
+def evaluation_traces(setting: WordLengthSetting) -> dict[str, Trace]:
+    """The five workloads of Fig. 6(a)."""
+    return {
+        "bootstrap": bootstrap_trace(setting),
+        "helr256": helr_trace(setting, 256),
+        "helr1024": helr_trace(setting, 1024),
+        "resnet20": resnet20_trace(setting),
+        "sorting": sorting_trace(setting),
+    }

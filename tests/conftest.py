@@ -1,0 +1,63 @@
+"""Shared fixtures: small CKKS contexts reused across the test suite.
+
+Context construction involves prime searches and key generation, so the
+expensive ones are session-scoped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks.context import CkksContext, make_params
+from repro.ckks.ops import Evaluator
+
+
+@pytest.fixture(scope="session")
+def small_context() -> CkksContext:
+    """N = 2^11, 256 slots, 6 SS levels at 2^28."""
+    params = make_params(degree=1 << 11, slots=256, scale_bits=28, depth=6, dnum=3)
+    return CkksContext(params, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_evaluator(small_context) -> Evaluator:
+    return Evaluator(small_context)
+
+
+@pytest.fixture(scope="session")
+def ds_context() -> CkksContext:
+    """N = 2^11, double-prime scaling at 2^35."""
+    params = make_params(degree=1 << 11, slots=256, scale_bits=35, depth=4, dnum=3)
+    return CkksContext(params, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def ds_evaluator(ds_context) -> Evaluator:
+    return Evaluator(ds_context)
+
+
+@pytest.fixture(scope="session")
+def boot_context() -> CkksContext:
+    """N = 2^10 fully packed with a bootstrapping chain."""
+    params = make_params(
+        degree=1 << 10,
+        slots=512,
+        scale_bits=23,
+        depth=2,
+        boot_scale_bits=50,
+        boot_depth=14,
+        dnum=4,
+        hamming_weight=16,
+    )
+    return CkksContext(params, seed=99)
+
+
+@pytest.fixture(scope="session")
+def boot_evaluator(boot_context) -> Evaluator:
+    return Evaluator(boot_context)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2023)

@@ -1,0 +1,242 @@
+"""Integration tests for CKKS encryption and the primitive HE ops.
+
+Covers every op of the paper's Table 1: HAdd, PMult, PAdd, CMult, CAdd,
+HMult, HRot, plus rescaling (single- and double-prime) and level/scale
+management.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.context import make_params
+
+TOL = 1e-4
+
+
+def msg(rng, n=256, complex_=True):
+    if complex_:
+        return rng.uniform(-1, 1, n) + 1j * rng.uniform(-1, 1, n)
+    return rng.uniform(-1, 1, n)
+
+
+class TestEncryptDecrypt:
+    def test_fresh_precision(self, small_context, rng):
+        m = msg(rng)
+        ct = small_context.encrypt(m)
+        err = np.max(np.abs(small_context.decrypt(ct) - m))
+        assert err < 1e-5
+
+    def test_fresh_precision_scales_with_delta(self, rng):
+        """Table 2's first row: ~2 bits of precision per 2 scale bits."""
+        from repro.ckks.context import CkksContext
+
+        precisions = []
+        for bits in (22, 26):
+            params = make_params(degree=1 << 10, slots=128, scale_bits=bits, depth=2)
+            ctx = CkksContext(params, seed=5)
+            m = msg(np.random.default_rng(5), 128)
+            err = np.max(np.abs(ctx.decrypt(ctx.encrypt(m)) - m))
+            precisions.append(-math.log2(err))
+        gained = precisions[1] - precisions[0]
+        assert 2.0 < gained < 6.0
+
+    def test_ciphertext_halves_consistency(self, small_context, rng):
+        ct = small_context.encrypt(msg(rng))
+        with pytest.raises(ValueError):
+            Ciphertext(ct.c0, ct.c1.drop_limbs(1), ct.level, ct.scale)
+
+
+class TestAdditive:
+    def test_hadd(self, small_context, small_evaluator, rng):
+        m1, m2 = msg(rng), msg(rng)
+        out = small_evaluator.add(
+            small_context.encrypt(m1), small_context.encrypt(m2)
+        )
+        assert np.max(np.abs(small_context.decrypt(out) - (m1 + m2))) < TOL
+
+    def test_hsub_negate(self, small_context, small_evaluator, rng):
+        m1, m2 = msg(rng), msg(rng)
+        ev = small_evaluator
+        out = ev.sub(small_context.encrypt(m1), small_context.encrypt(m2))
+        assert np.max(np.abs(small_context.decrypt(out) - (m1 - m2))) < TOL
+        out = ev.negate(small_context.encrypt(m1))
+        assert np.max(np.abs(small_context.decrypt(out) + m1)) < TOL
+
+    def test_padd(self, small_context, small_evaluator, rng):
+        m1, m2 = msg(rng), msg(rng)
+        ct = small_context.encrypt(m1)
+        pt = small_context.encode(m2)
+        out = small_evaluator.add_plain(ct, pt)
+        assert np.max(np.abs(small_context.decrypt(out) - (m1 + m2))) < TOL
+
+    def test_cadd(self, small_context, small_evaluator, rng):
+        m1 = msg(rng)
+        out = small_evaluator.add_scalar(small_context.encrypt(m1), 0.5 - 0.25j)
+        assert np.max(np.abs(small_context.decrypt(out) - (m1 + 0.5 - 0.25j))) < TOL
+
+    def test_add_aligns_levels(self, small_context, small_evaluator, rng):
+        m1, m2 = msg(rng), msg(rng)
+        ev = small_evaluator
+        deep = ev.consume_level(small_context.encrypt(m1))
+        out = ev.add(deep, small_context.encrypt(m2))
+        assert out.level == deep.level
+        assert np.max(np.abs(small_context.decrypt(out) - (m1 + m2))) < TOL
+
+    def test_scale_mismatch_rejected(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        a = small_context.encrypt(m)
+        b = small_context.encrypt(m, scale=2.0**27)
+        with pytest.raises(ValueError):
+            small_evaluator.add(a, b)
+
+
+class TestMultiplicative:
+    def test_pmult(self, small_context, small_evaluator, rng):
+        m1, m2 = msg(rng), msg(rng)
+        out = small_evaluator.multiply_plain(
+            small_context.encrypt(m1), small_context.encode(m2)
+        )
+        assert out.level == small_context.params.usable_level - 1
+        assert np.max(np.abs(small_context.decrypt(out) - m1 * m2)) < TOL
+
+    def test_cmult(self, small_context, small_evaluator, rng):
+        m1 = msg(rng)
+        out = small_evaluator.multiply_scalar(small_context.encrypt(m1), 0.125)
+        assert np.max(np.abs(small_context.decrypt(out) - 0.125 * m1)) < TOL
+
+    def test_hmult(self, small_context, small_evaluator, rng):
+        m1, m2 = msg(rng), msg(rng)
+        out = small_evaluator.multiply(
+            small_context.encrypt(m1), small_context.encrypt(m2)
+        )
+        assert np.max(np.abs(small_context.decrypt(out) - m1 * m2)) < TOL
+
+    def test_square(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        out = small_evaluator.square(small_context.encrypt(m))
+        assert np.max(np.abs(small_context.decrypt(out) - m * m)) < TOL
+
+    def test_mult_chain_to_level_zero(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        factor = msg(rng)
+        ct = small_context.encrypt(m)
+        expect = m
+        while ct.level > 0:
+            ct = small_evaluator.multiply(ct, small_context.encrypt(factor, level=ct.level))
+            expect = expect * factor
+        assert np.max(np.abs(small_context.decrypt(ct) - expect)) < 1e-3
+
+    def test_rescale_tracks_scale_exactly(self, small_context, small_evaluator, rng):
+        ct = small_context.encrypt(msg(rng))
+        out = small_evaluator.multiply(ct, ct, rescale=False)
+        step = small_context.params.step_at(out.level)
+        rescaled = small_evaluator.rescale(out)
+        assert rescaled.scale == pytest.approx(out.scale / step.scale)
+
+    def test_rescale_at_level_zero_rejected(self, small_context, small_evaluator, rng):
+        ct = small_context.encrypt(msg(rng))
+        while ct.level > 0:
+            ct = small_evaluator.consume_level(ct)
+        with pytest.raises(ValueError):
+            small_evaluator.rescale(ct)
+
+
+class TestDoublePrimeScaling:
+    def test_ds_steps_are_pairs(self, ds_context):
+        for step in ds_context.params.steps:
+            assert step.is_double
+            assert abs(math.log2(step.scale) - 35) < 0.2
+
+    def test_ds_fresh_precision_higher(self, ds_context, rng):
+        """A 2^35 scale gives ~7 more precision bits than 2^28."""
+        m = msg(rng)
+        err = np.max(np.abs(ds_context.decrypt(ds_context.encrypt(m)) - m))
+        assert -math.log2(err) > 22
+
+    def test_ds_hmult_rescale(self, ds_context, ds_evaluator, rng):
+        m1, m2 = msg(rng), msg(rng)
+        out = ds_evaluator.multiply(ds_context.encrypt(m1), ds_context.encrypt(m2))
+        assert out.level == ds_context.params.usable_level - 1
+        assert out.limb_count == len(ds_context.params.active_moduli(out.level))
+        assert np.max(np.abs(ds_context.decrypt(out) - m1 * m2)) < 1e-6
+
+    def test_ds_deep_chain(self, ds_context, ds_evaluator, rng):
+        m = msg(rng)
+        ct = ds_context.encrypt(m)
+        expect = m
+        for _ in range(ds_context.params.usable_level):
+            ct = ds_evaluator.multiply(ct, ds_context.encrypt(np.conj(m), level=ct.level))
+            expect = expect * np.conj(m)
+        assert np.max(np.abs(ds_context.decrypt(ct) - expect)) < 1e-4
+
+
+class TestRotation:
+    @pytest.mark.parametrize("amount", [1, 3, 100, 255])
+    def test_hrot(self, small_context, small_evaluator, rng, amount):
+        m = msg(rng)
+        out = small_evaluator.rotate(small_context.encrypt(m), amount)
+        assert np.max(np.abs(small_context.decrypt(out) - np.roll(m, -amount))) < TOL
+
+    def test_rotate_zero_is_identity(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        ct = small_context.encrypt(m)
+        assert small_evaluator.rotate(ct, 0) is ct
+
+    def test_rotation_composition(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        ev = small_evaluator
+        ct = small_context.encrypt(m)
+        out = ev.rotate(ev.rotate(ct, 5), 7)
+        assert np.max(np.abs(small_context.decrypt(out) - np.roll(m, -12))) < TOL
+
+    def test_conjugate(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        out = small_evaluator.conjugate(small_context.encrypt(m))
+        assert np.max(np.abs(small_context.decrypt(out) - np.conj(m))) < TOL
+
+    def test_rotation_preserves_level_and_scale(self, small_context, small_evaluator, rng):
+        ct = small_context.encrypt(msg(rng))
+        out = small_evaluator.rotate(ct, 9)
+        assert out.level == ct.level and out.scale == ct.scale
+
+
+class TestLevelScaleManagement:
+    def test_drop_to_level(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        ct = small_context.encrypt(m)
+        dropped = small_evaluator.drop_to_level(ct, 2)
+        assert dropped.level == 2
+        assert np.max(np.abs(small_context.decrypt(dropped) - m)) < TOL
+
+    def test_cannot_raise_level(self, small_context, small_evaluator, rng):
+        ct = small_evaluator.drop_to_level(small_context.encrypt(msg(rng)), 2)
+        with pytest.raises(ValueError):
+            small_evaluator.drop_to_level(ct, 3)
+
+    def test_adjust_changes_scale_exactly(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        ev = small_evaluator
+        ct = ev.multiply(small_context.encrypt(m), small_context.encrypt(m))
+        target = small_context.params.scale
+        out = ev.adjust(ct, ct.level - 1, target)
+        assert out.scale == target
+        assert np.max(np.abs(small_context.decrypt(out) - m * m)) < TOL
+
+    def test_match_reconciles_branches(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        ev = small_evaluator
+        a = ev.multiply(small_context.encrypt(m), small_context.encrypt(m))
+        b = small_context.encrypt(m * m)
+        a2, b2 = ev.match(a, b)
+        out = ev.add(a2, b2)
+        assert np.max(np.abs(small_context.decrypt(out) - 2 * m * m)) < TOL
+
+    def test_consume_level_keeps_value(self, small_context, small_evaluator, rng):
+        m = msg(rng)
+        ct = small_evaluator.consume_level(small_context.encrypt(m))
+        assert ct.level == small_context.params.usable_level - 1
+        assert ct.scale == small_context.params.scale
+        assert np.max(np.abs(small_context.decrypt(ct) - m)) < TOL
