@@ -47,6 +47,10 @@ class AcceleratorConfig:
     bconv_macs_per_lane: int
     ew_mults_per_lane: int
     ew_adds_per_lane: int
+    # Share of RF_main reserved for resident evaluation keys in the
+    # legacy closed-form memory model (the scheduled path decides evk
+    # residency per-op instead).  Capacity sweeps can vary it.
+    evk_capacity_fraction: float = 0.35
     # Feature flags.
     hierarchical_nttu: bool = True
     two_d_bconv: bool = True

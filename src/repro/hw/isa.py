@@ -6,11 +6,18 @@ cycle-level simulator consumes (S6.1).  Each op carries the active limb
 count (which encodes the level and the SS/DS realization), the limbs
 dropped by its trailing rescale, and an optional evaluation-key
 identity so the memory system can model evk reuse.
+
+Ops may additionally carry SSA-style dataflow annotations: ``dst`` is
+the value id the op defines and ``srcs`` are the value ids it consumes.
+Annotated traces are what the :mod:`repro.sched` scheduling compiler
+operates on — liveness analysis, Belady/LRU scratchpad allocation and
+operation fusion all key off these ids.  Unannotated traces remain
+valid and take the simulator's legacy closed-form memory model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 
 __all__ = ["OpKind", "HeOp", "Trace"]
@@ -37,9 +44,20 @@ class HeOp:
     drop: int = 0  # limbs dropped by the op's rescale (0 = none)
     key_id: str | None = None  # evk identity for HMULT / HROT
     count: float = 1.0  # repeat factor (identical ops fused in traces)
+    dst: str | None = None  # SSA value id this op defines
+    srcs: tuple[str, ...] = ()  # SSA value ids this op consumes
 
     def scaled(self, factor: float) -> "HeOp":
-        return HeOp(self.kind, self.limbs, self.drop, self.key_id, self.count * factor)
+        return replace(self, count=self.count * factor)
+
+    @property
+    def annotated(self) -> bool:
+        return self.dst is not None
+
+    @property
+    def result_limbs(self) -> int:
+        """Active limbs of the value this op defines (post-rescale)."""
+        return self.limbs - self.drop
 
 
 @dataclass
@@ -49,7 +67,8 @@ class Trace:
     name: str
     ops: list[HeOp] = field(default_factory=list)
     # Peak number of live temporary ciphertexts at high (bootstrap)
-    # levels, for the working-set / BSGS spill model.
+    # levels, for the working-set / BSGS spill model.  Annotated traces
+    # get this measured exactly by repro.sched.liveness instead.
     peak_temporaries: int = 4
     bootstrap_fraction_hint: float | None = None
     # Divide reported runtimes by this to get the paper's unit of work
@@ -61,3 +80,8 @@ class Trace:
 
     def op_count(self) -> float:
         return sum(op.count for op in self.ops)
+
+    @property
+    def annotated(self) -> bool:
+        """True when every op carries SSA dataflow annotations."""
+        return bool(self.ops) and all(op.annotated for op in self.ops)

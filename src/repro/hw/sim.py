@@ -7,15 +7,18 @@ cycles.  Within one HE op the units run as a pipeline — the op's
 latency is its *bottleneck* unit's time — which is what the deeply
 pipelined INTT -> BConv -> NTT dataflow achieves in hardware.
 
-The memory system models:
+Two memory models coexist:
 
-* evk streaming — each unique evaluation key is fetched from HBM once
-  (minimum-key-switching reuse, observation (10)) and streamed from
-  on-chip storage afterwards;
-* working-set spills — when the live ciphertexts at bootstrap levels
-  exceed the on-chip capacity, ops at those levels pay off-chip
-  re-fetch traffic unless memory-capacity-aware BSGS fine-tuning
-  (observation (12)) reshapes the schedule to fit.
+* **Scheduled** — :meth:`Simulator.run` given a
+  :class:`repro.sched.ScheduledTrace` takes each op's off-chip and
+  spill bytes straight from the scratchpad allocator's event log
+  (Belady/LRU over a unified temporary + evk budget), so traffic is
+  the consequence of recorded decisions rather than a formula.
+* **Legacy closed-form** — plain :class:`Trace` inputs keep the seed
+  heuristics: evk streaming with a fixed residency share
+  (``config.evk_capacity_fraction``), and a working-set overflow
+  fraction at bootstrap levels unless memory-capacity-aware BSGS
+  fine-tuning (observation (12)) reshapes the schedule to fit.
 
 Outputs: runtime, per-unit utilization (Fig. 6(b)), off-chip traffic,
 energy and average power, and EDP/EDAP helpers (Figs. 7 and 8).
@@ -24,11 +27,11 @@ energy and average power, and EDP/EDAP helpers (Figs. 7 and 8).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import AcceleratorConfig
 from repro.hw.area import chip_area
-from repro.hw.isa import HeOp, OpKind, Trace
+from repro.hw.isa import OpKind, Trace
 from repro.hw.lowering import FuWork, OpLowering
 from repro.hw.power import (
     HBM_J_PER_BYTE,
@@ -64,13 +67,17 @@ class SimulationResult:
     energy_j: float
     energy_breakdown: dict
     area_mm2: float
+    schedule_policy: str | None = None  # set when a ScheduledTrace ran
 
     @property
     def power_w(self) -> float:
-        return self.energy_j / self.seconds
+        # An empty trace takes no time and dissipates nothing.
+        return self.energy_j / self.seconds if self.seconds else 0.0
 
     @property
     def utilization(self) -> dict:
+        if not self.cycles:
+            return {name: 0.0 for name in self.fu_busy_cycles}
         return {
             name: busy / self.cycles for name, busy in self.fu_busy_cycles.items()
         }
@@ -84,9 +91,13 @@ class SimulationResult:
         return self.edp * self.area_mm2
 
     def perf_per_area(self) -> float:
+        if not self.seconds:
+            return 0.0
         return 1.0 / (self.seconds * self.area_mm2)
 
     def perf_per_watt(self) -> float:
+        if not self.seconds or not self.power_w:
+            return 0.0
         return 1.0 / (self.seconds * self.power_w)
 
 
@@ -116,55 +127,78 @@ class Simulator:
             "dsu": work.dsu_words / c.total_lanes,
         }
 
+    def _compute_cycles(self, fu: dict, rf_cycles: float) -> float:
+        """Pipeline the FUs behind the bottleneck (FU or RF bandwidth).
+
+        The INTT -> BConv -> NTT chain pipelines imperfectly: a
+        fraction of every non-bottleneck unit's time serializes behind
+        the bottleneck (the stall the 2-D BConvU and the EWE were
+        designed to shrink, S4.4-S4.5).  When the RF bandwidth is the
+        bottleneck, *every* FU is a non-bottleneck unit — the largest
+        FU gets no exemption.
+        """
+        fu_max = max(fu.values())
+        bottleneck = max(fu_max, rf_cycles)
+        if rf_cycles > fu_max:
+            others = sum(fu.values())
+        else:
+            others = sum(fu.values()) - fu_max
+        return bottleneck + SERIALIZATION * others
+
     def _boot_limb_threshold(self) -> int:
         """Limb count above which an op belongs to bootstrapping."""
         s = self.setting
         normal = s.group("normal")
         return s.base_prime_count + normal.levels * normal.primes_per_level + 1
 
+    # -- scheduling front-end ------------------------------------------------------
+
+    def schedule(self, trace: Trace, policy: str = "belady", fuse: bool = False):
+        """Schedule an annotated trace against this config's scratchpad."""
+        from repro.sched.trace import schedule_trace
+
+        return schedule_trace(
+            trace,
+            self.setting,
+            capacity_bytes=self.config.onchip_capacity_bytes,
+            policy=policy,
+            prng_evk=self.config.prng_evk,
+            fuse=fuse,
+        )
+
     # -- the run loop ------------------------------------------------------------
 
-    def run(self, trace: Trace) -> SimulationResult:
+    def run(self, trace) -> SimulationResult:
+        """Simulate a :class:`Trace` (legacy memory model) or a
+        :class:`repro.sched.ScheduledTrace` (allocator-driven)."""
+        from repro.sched.trace import ScheduledTrace
+
+        if isinstance(trace, ScheduledTrace):
+            return self._run_scheduled(trace)
+        return self._run_legacy(trace)
+
+    def _run_legacy(self, trace: Trace) -> SimulationResult:
         config = self.config
         setting = self.setting
-        word_bytes = setting.word_bits / 8.0
-        ct_bytes_per_limb = 2 * setting.degree * word_bytes
+        ct_bytes_per_limb = 2 * setting.degree * setting.word_bits / 8.0
 
-        busy = {name: 0.0 for name in FU_NAMES}
-        total_cycles = 0.0
-        offchip = 0.0
-        spill = 0.0
+        state = _RunState()
         seen_keys: set[str] = set()
         boot_threshold = self._boot_limb_threshold()
 
-        evk_capacity = 0.35 * config.rf_main_bytes  # storage share for keys
+        # Storage share reserved for keys (paper S5's residency split).
+        evk_capacity = config.evk_capacity_fraction * config.rf_main_bytes
         evk_resident = 0.0
-
-        energy = {
-            "fu": 0.0,
-            "sram": 0.0,
-            "hbm": 0.0,
-            "noc": 0.0,
-        }
-        noc_j = (
-            NOC_J_PER_WORD_HIER if config.hierarchical_nttu else NOC_J_PER_WORD_FLAT
-        )
 
         for op in trace.ops:
             work = self.lowering.lower(op)
             fu = self._fu_cycles(work)
-            # On-chip bandwidth can also bound the op.
             rf_cycles = work.rf_words / config.onchip_bw_words
-            # The INTT -> BConv -> NTT chain pipelines imperfectly: a
-            # fraction of every non-bottleneck unit's time serializes
-            # behind the bottleneck (the stall the 2-D BConvU and the
-            # EWE were designed to shrink, S4.4-S4.5).
-            bottleneck = max(max(fu.values()), rf_cycles)
-            others = sum(fu.values()) - max(fu.values())
-            compute_cycles = bottleneck + SERIALIZATION * others
+            compute_cycles = self._compute_cycles(fu, rf_cycles)
 
             # Off-chip traffic for this op.
             op_bytes = 0.0
+            spill_bytes = 0.0
             if op.key_id is not None and work.evk_bytes > 0:
                 per_use = work.evk_bytes / op.count
                 if op.key_id not in seen_keys:
@@ -210,47 +244,100 @@ class Simulator:
                         overflow = 1.0 - config.onchip_capacity_bytes / working_set(
                             bs
                         )
-                        spilled = 2 * ct_bytes * overflow * op.count
-                        spill += spilled
-                        op_bytes += spilled
+                        spill_bytes = 2 * ct_bytes * overflow * op.count
+                        op_bytes += spill_bytes
 
-            mem_cycles = (
-                op_bytes / config.offchip_bw_bytes * config.frequency_hz
+            self._account_op(state, fu, work, compute_cycles, op_bytes, spill_bytes)
+
+        return self._finish(trace, state)
+
+    def _run_scheduled(self, sched) -> SimulationResult:
+        """Traffic comes from the allocator's per-op decisions."""
+        state = _RunState()
+        for op, event in zip(sched.trace.ops, sched.log.events):
+            work = self.lowering.lower(op)
+            fu = self._fu_cycles(work)
+            rf_cycles = work.rf_words / self.config.onchip_bw_words
+            compute_cycles = self._compute_cycles(fu, rf_cycles)
+            self._account_op(
+                state,
+                fu,
+                work,
+                compute_cycles,
+                event.offchip_bytes,
+                event.spill_bytes,
             )
-            op_cycles = max(compute_cycles, mem_cycles)
-            total_cycles += op_cycles
-            offchip += op_bytes
-            for name in FU_NAMES:
-                busy[name] += fu[name]
+        return self._finish(sched.trace, state, policy=sched.policy)
 
-            # Dynamic energy.
-            n = setting.degree
-            ntt_muls = work.ntt_words * math.log2(n) / 2.0
-            energy["fu"] += ntt_muls * mult_energy_j("montgomery", setting.word_bits)
-            energy["fu"] += (work.bconv_macs + work.ew_mults + work.dsu_words) * (
-                mult_energy_j("barrett", setting.word_bits)
-            )
-            energy["fu"] += (
-                work.ew_adds + work.bconv_macs
-            ) * add_energy_j(setting.word_bits)
-            energy["sram"] += work.rf_words * word_bytes * SRAM_J_PER_BYTE
-            energy["hbm"] += op_bytes * HBM_J_PER_BYTE
-            energy["noc"] += (work.ntt_words + work.auto_words) * noc_j
+    # -- shared accounting ---------------------------------------------------------
 
-        seconds = total_cycles / config.frequency_hz
+    def _account_op(
+        self,
+        state: "_RunState",
+        fu: dict,
+        work: FuWork,
+        compute_cycles: float,
+        op_bytes: float,
+        spill_bytes: float,
+    ) -> None:
+        config = self.config
+        setting = self.setting
+        word_bytes = setting.word_bits / 8.0
+
+        mem_cycles = op_bytes / config.offchip_bw_bytes * config.frequency_hz
+        state.total_cycles += max(compute_cycles, mem_cycles)
+        state.offchip += op_bytes
+        state.spill += spill_bytes
+        for name in FU_NAMES:
+            state.busy[name] += fu[name]
+
+        # Dynamic energy.
+        energy = state.energy
+        noc_j = (
+            NOC_J_PER_WORD_HIER if config.hierarchical_nttu else NOC_J_PER_WORD_FLAT
+        )
+        n = setting.degree
+        ntt_muls = work.ntt_words * math.log2(n) / 2.0
+        energy["fu"] += ntt_muls * mult_energy_j("montgomery", setting.word_bits)
+        energy["fu"] += (work.bconv_macs + work.ew_mults + work.dsu_words) * (
+            mult_energy_j("barrett", setting.word_bits)
+        )
+        energy["fu"] += (work.ew_adds + work.bconv_macs) * add_energy_j(
+            setting.word_bits
+        )
+        energy["sram"] += work.rf_words * word_bytes * SRAM_J_PER_BYTE
+        energy["hbm"] += op_bytes * HBM_J_PER_BYTE
+        energy["noc"] += (work.ntt_words + work.auto_words) * noc_j
+
+    def _finish(
+        self, trace, state: "_RunState", policy: str | None = None
+    ) -> SimulationResult:
+        seconds = state.total_cycles / self.config.frequency_hz
         leakage = LEAKAGE_W_PER_MM2 * self.area.total * seconds
-        total_energy = sum(energy.values()) + leakage
-        energy["leakage"] = leakage
+        total_energy = sum(state.energy.values()) + leakage
+        state.energy["leakage"] = leakage
 
         return SimulationResult(
             name=trace.name,
-            config_name=config.name,
-            cycles=total_cycles,
+            config_name=self.config.name,
+            cycles=state.total_cycles,
             seconds=seconds,
-            fu_busy_cycles=busy,
-            offchip_bytes=offchip,
-            spill_bytes=spill,
+            fu_busy_cycles=state.busy,
+            offchip_bytes=state.offchip,
+            spill_bytes=state.spill,
             energy_j=total_energy,
-            energy_breakdown=energy,
+            energy_breakdown=state.energy,
             area_mm2=self.area.total,
+            schedule_policy=policy,
         )
+
+
+class _RunState:
+    """Mutable accumulators for one simulation run."""
+
+    def __init__(self) -> None:
+        self.busy = {name: 0.0 for name in FU_NAMES}
+        self.total_cycles = 0.0
+        self.offchip = 0.0
+        self.spill = 0.0
+        self.energy = {"fu": 0.0, "sram": 0.0, "hbm": 0.0, "noc": 0.0}

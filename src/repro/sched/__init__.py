@@ -1,0 +1,35 @@
+"""Trace-level scheduling compiler (paper S5's software techniques).
+
+The pipeline between workload traces and the performance simulator:
+
+* :mod:`repro.sched.liveness` — SSA live ranges and exact per-op
+  working sets (mechanistic Fig. 5(b));
+* :mod:`repro.sched.fusion` — operation fusion (PMADD formation,
+  trailing-rescale folding);
+* :mod:`repro.sched.alloc` — scratchpad allocation with Belady (MIN)
+  or LRU eviction over a unified temporary + evk capacity budget;
+* :mod:`repro.sched.events` — the per-op schedule event log benchmarks
+  and tests observe;
+* :mod:`repro.sched.trace` — :class:`ScheduledTrace`, the artifact
+  ``Simulator.run`` consumes directly.
+"""
+
+from repro.sched.alloc import POLICIES, ScratchpadAllocator
+from repro.sched.events import ScheduleEvent, ScheduleLog
+from repro.sched.fusion import FusionReport, fuse_trace
+from repro.sched.liveness import LiveRange, Liveness, analyze_liveness
+from repro.sched.trace import ScheduledTrace, schedule_trace
+
+__all__ = [
+    "POLICIES",
+    "ScratchpadAllocator",
+    "ScheduleEvent",
+    "ScheduleLog",
+    "FusionReport",
+    "fuse_trace",
+    "LiveRange",
+    "Liveness",
+    "analyze_liveness",
+    "ScheduledTrace",
+    "schedule_trace",
+]

@@ -1,0 +1,182 @@
+"""Scratchpad allocation with pluggable eviction (Belady / LRU).
+
+Models the paper's Belady data scheduling (S5, observation (10)): the
+compiler knows the whole trace, so on-chip eviction can use *future*
+use distances — the provably miss-minimal MIN policy for uniform
+lines — instead of recency.  Ciphertext temporaries and evaluation
+keys share one capacity budget, replacing the seed simulator's fixed
+0.35x evk residency share and closed-form overflow fraction with
+per-op decisions.
+
+Mechanics shared by both policies:
+
+* values are fetched on first use (cold miss) and re-fetched when a
+  previous eviction pushed them off-chip;
+* values produced on-chip are *dirty* — evicting one that still has a
+  future use writes it back (spill traffic) and re-fetching it later
+  is attributed to the same spill;
+* evks are clean (HBM always holds them) — eviction is free, re-use
+  after eviction pays a fresh stream;
+* dead values are freed the moment their last consumer retires, for
+  both policies, so the LRU baseline is a fair ablation of the
+  eviction decision alone.
+
+Every decision lands in a :class:`repro.sched.events.ScheduleLog`.
+"""
+
+from __future__ import annotations
+
+from repro.hw.isa import Trace
+from repro.params.presets import WordLengthSetting
+from repro.sched.events import ScheduleEvent, ScheduleLog
+from repro.sched.liveness import INFINITY, Liveness, analyze_liveness
+
+__all__ = ["ScratchpadAllocator", "POLICIES"]
+
+POLICIES = ("belady", "lru")
+
+
+class ScratchpadAllocator:
+    """Walks an annotated trace, deciding residency op by op."""
+
+    def __init__(self, capacity_bytes: float, policy: str = "belady"):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r}; pick from {POLICIES}")
+        if capacity_bytes <= 0:
+            raise ValueError("scratchpad capacity must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self.policy = policy
+
+    def run(
+        self,
+        trace: Trace,
+        setting: WordLengthSetting,
+        prng_evk: bool = True,
+        liveness: Liveness | None = None,
+    ) -> ScheduleLog:
+        live = liveness if liveness is not None else analyze_liveness(
+            trace, setting, prng_evk
+        )
+        log = ScheduleLog(policy=self.policy, capacity_bytes=self.capacity_bytes)
+
+        resident: dict[str, float] = {}  # value id -> bytes
+        dirty: set[str] = set()  # produced on-chip, not yet written back
+        spilled: set[str] = set()  # evicted dirty; re-fetch is spill traffic
+        streamed: set[str] = set()  # larger than the whole scratchpad
+        clock = 0
+        last_touch: dict[str, int] = {}
+        occupancy = 0.0
+
+        def touch(value: str) -> None:
+            nonlocal clock
+            clock += 1
+            last_touch[value] = clock
+
+        def victim_order(value: str, index: int) -> tuple:
+            if self.policy == "belady":
+                # Farthest future use goes first; dead-end values
+                # (inf) beat everything.  Ties break on the id so the
+                # schedule is deterministic.
+                return (live.range_of(value).next_use(index), value)
+            # LRU: negate recency so max() selects the least recent.
+            return (-last_touch[value], value)
+
+        def evict_for(size: float, index: int, pinned: set, ev: dict) -> None:
+            nonlocal occupancy
+            while occupancy + size > self.capacity_bytes:
+                candidates = [v for v in resident if v not in pinned]
+                if not candidates:
+                    break  # op's own working set overflows: transient
+                victim = max(candidates, key=lambda v: victim_order(v, index))
+                vsize = resident.pop(victim)
+                occupancy -= vsize
+                ev["evictions"].append(victim)
+                if victim in dirty and live.range_of(victim).next_use(index) != INFINITY:
+                    dirty.discard(victim)
+                    spilled.add(victim)
+                    ev["writeback_bytes"] += vsize
+                    ev["spill_bytes"] += vsize
+                else:
+                    dirty.discard(victim)
+
+        def bring_in(value: str, size: float, index: int, pinned: set, ev: dict) -> None:
+            nonlocal occupancy
+            ev["misses"] += 1
+            ev["fetch_bytes"] += size
+            ev["fetched"].append(value)
+            if value in spilled:
+                ev["spill_bytes"] += size  # re-fetch of spilled data
+            if size > self.capacity_bytes:
+                streamed.add(value)  # stream through, never resident
+                return
+            evict_for(size, index, pinned, ev)
+            resident[value] = size
+            occupancy += size
+
+        for i, op in enumerate(trace.ops):
+            ev = {
+                "hits": 0,
+                "misses": 0,
+                "fetch_bytes": 0.0,
+                "writeback_bytes": 0.0,
+                "spill_bytes": 0.0,
+                "evictions": [],
+                "fetched": [],
+            }
+            needed = [(src, live.ranges[src].size_bytes) for src in dict.fromkeys(op.srcs)]
+            if op.key_id is not None:
+                key = f"evk:{op.key_id}"
+                needed.append((key, live.evk_ranges[key].size_bytes))
+            pinned = {v for v, _ in needed} | {op.dst}
+
+            for value, size in needed:
+                touch(value)
+                if value in resident:
+                    ev["hits"] += 1
+                elif value in streamed:
+                    ev["misses"] += 1
+                    ev["fetch_bytes"] += size  # re-streamed every use
+                else:
+                    bring_in(value, size, i, pinned, ev)
+
+            # Define the result on-chip (dirty until written back).
+            dsize = live.ranges[op.dst].size_bytes
+            touch(op.dst)
+            if dsize > self.capacity_bytes:
+                streamed.add(op.dst)
+                ev["writeback_bytes"] += dsize  # can only live off-chip
+                ev["spill_bytes"] += dsize
+                spilled.add(op.dst)
+            else:
+                evict_for(dsize, i, pinned, ev)
+                resident[op.dst] = dsize
+                occupancy += dsize
+                dirty.add(op.dst)
+
+            # Retire dead values: anything whose last use just passed.
+            for value in [*dict.fromkeys(op.srcs), op.dst]:
+                r = live.ranges.get(value)
+                if r is not None and r.last_use <= i and value in resident:
+                    occupancy -= resident.pop(value)
+                    dirty.discard(value)
+            if op.key_id is not None:
+                key = f"evk:{op.key_id}"
+                if live.evk_ranges[key].last_use <= i and key in resident:
+                    occupancy -= resident.pop(key)
+
+            log.append(
+                ScheduleEvent(
+                    index=i,
+                    kind=op.kind,
+                    hits=ev["hits"],
+                    misses=ev["misses"],
+                    fetch_bytes=ev["fetch_bytes"],
+                    writeback_bytes=ev["writeback_bytes"],
+                    spill_bytes=ev["spill_bytes"],
+                    evictions=tuple(ev["evictions"]),
+                    fetched=tuple(ev["fetched"]),
+                    occupancy_bytes=occupancy,
+                    live_values=len(resident),
+                )
+            )
+        return log

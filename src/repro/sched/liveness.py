@@ -1,0 +1,188 @@
+"""Liveness analysis over SSA-annotated HE-op traces.
+
+Computes, for every value in a trace, its live range (definition op to
+last consuming op) and byte size, and from those the *exact* per-op
+working set — live ciphertext temporaries plus the evk the op streams.
+This replaces the seed's ``Trace.peak_temporaries`` hint with a
+measured quantity and reproduces the paper's Fig. 5(b) working-set
+curve mechanistically: the (bs + 1) simultaneously-live BSGS
+temporaries fall out of the rotation-ladder dataflow instead of being
+asserted.
+
+Future-use distances (:meth:`Liveness.next_use`) are what the Belady
+allocator in :mod:`repro.sched.alloc` keys its evictions off.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.hw.isa import Trace
+from repro.params.presets import WordLengthSetting
+
+__all__ = ["LiveRange", "Liveness", "analyze_liveness"]
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class LiveRange:
+    """One SSA value's lifetime and storage footprint."""
+
+    value: str
+    size_bytes: float
+    def_index: int  # -1 for external inputs (live from trace start)
+    uses: tuple[int, ...]  # op indices that consume the value, ascending
+    is_evk: bool = False
+
+    @property
+    def last_use(self) -> int:
+        return self.uses[-1] if self.uses else self.def_index
+
+    @property
+    def start(self) -> int:
+        return max(self.def_index, 0)
+
+    def next_use(self, after: int) -> float:
+        """First use strictly after op ``after`` (inf if none)."""
+        i = bisect.bisect_right(self.uses, after)
+        return self.uses[i] if i < len(self.uses) else INFINITY
+
+
+class Liveness:
+    """Live ranges plus per-op working-set accounting for one trace."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        ranges: dict,
+        evk_ranges: dict,
+    ):
+        self.trace = trace
+        self.ranges = ranges  # ciphertext values
+        self.evk_ranges = evk_ranges  # evaluation keys (one per key_id)
+        self._live_counts, self._live_bytes = self._sweep()
+
+    def _sweep(self) -> tuple[list[int], list[float]]:
+        n = len(self.trace.ops)
+        delta_count = [0] * (n + 1)
+        delta_bytes = [0.0] * (n + 1)
+        for r in self.ranges.values():
+            delta_count[r.start] += 1
+            delta_bytes[r.start] += r.size_bytes
+            delta_count[r.last_use + 1] -= 1
+            delta_bytes[r.last_use + 1] -= r.size_bytes
+        counts, sizes = [], []
+        c, b = 0, 0.0
+        for i in range(n):
+            c += delta_count[i]
+            b += delta_bytes[i]
+            counts.append(c)
+            sizes.append(b)
+        return counts, sizes
+
+    # -- queries -----------------------------------------------------------------
+
+    def range_of(self, value: str) -> LiveRange:
+        return self.ranges.get(value) or self.evk_ranges[value]
+
+    def live_count(self, index: int) -> int:
+        """Number of ciphertext values live across op ``index``."""
+        return self._live_counts[index]
+
+    def live_bytes(self, index: int) -> float:
+        """Bytes of live ciphertext values across op ``index``."""
+        return self._live_bytes[index]
+
+    def working_set_bytes(self, index: int) -> float:
+        """Live ciphertexts plus the evk op ``index`` streams."""
+        op = self.trace.ops[index]
+        evk = 0.0
+        if op.key_id is not None:
+            evk = self.evk_ranges[f"evk:{op.key_id}"].size_bytes
+        return self._live_bytes[index] + evk
+
+    def peak_temporaries(self, min_limbs: int = 0) -> int:
+        """Max simultaneously-live ciphertexts (ops at >= min_limbs).
+
+        The measured replacement for the ``Trace.peak_temporaries``
+        hint; restrict to bootstrap-level ops by passing the bootstrap
+        limb threshold.
+        """
+        counts = [
+            c
+            for c, op in zip(self._live_counts, self.trace.ops)
+            if op.limbs >= min_limbs
+        ]
+        return max(counts, default=0)
+
+    def peak_working_set_bytes(self) -> float:
+        return max(
+            (self.working_set_bytes(i) for i in range(len(self.trace.ops))),
+            default=0.0,
+        )
+
+    def working_set_curve(self) -> list[tuple[int, float]]:
+        """(limbs, working-set bytes) per op — Fig. 5(b), measured."""
+        return [
+            (op.limbs, self.working_set_bytes(i))
+            for i, op in enumerate(self.trace.ops)
+        ]
+
+
+def analyze_liveness(
+    trace: Trace, setting: WordLengthSetting, prng_evk: bool = True
+) -> Liveness:
+    """Build live ranges for an SSA-annotated trace.
+
+    Ciphertext values are sized from the limb count of their defining
+    op (post-rescale); external inputs from their first consumer; every
+    evaluation key from the setting's evk size.  Raises ``ValueError``
+    on unannotated traces — those take the simulator's legacy path.
+    """
+    if not trace.annotated:
+        raise ValueError(
+            f"trace {trace.name!r} has no SSA annotations; "
+            "liveness needs dst/srcs on every op"
+        )
+
+    defs: dict[str, int] = {}
+    sizes: dict[str, float] = {}
+    uses: dict[str, list[int]] = {}
+    evk_uses: dict[str, list[int]] = {}
+
+    for i, op in enumerate(trace.ops):
+        for src in op.srcs:
+            if src not in defs:
+                # External input: live from the start, sized at the
+                # limb count of its first consumer.
+                defs[src] = -1
+                sizes[src] = setting.ciphertext_bytes(op.limbs)
+            uses.setdefault(src, [])
+            if not uses[src] or uses[src][-1] != i:
+                uses[src].append(i)
+        if op.dst is None:  # pragma: no cover - guarded by trace.annotated
+            raise ValueError(f"op {i} of {trace.name!r} lacks a dst value")
+        if op.dst in defs:
+            raise ValueError(
+                f"value {op.dst!r} redefined at op {i} of {trace.name!r}"
+            )
+        defs[op.dst] = i
+        sizes[op.dst] = setting.ciphertext_bytes(op.result_limbs)
+        uses.setdefault(op.dst, [])
+        if op.key_id is not None:
+            key = f"evk:{op.key_id}"
+            evk_uses.setdefault(key, [])
+            if not evk_uses[key] or evk_uses[key][-1] != i:
+                evk_uses[key].append(i)
+
+    ranges = {
+        v: LiveRange(v, sizes[v], defs[v], tuple(uses[v])) for v in defs
+    }
+    evk_size = setting.evk_bytes(prng=prng_evk)
+    evk_ranges = {
+        key: LiveRange(key, evk_size, -1, tuple(indices), is_evk=True)
+        for key, indices in evk_uses.items()
+    }
+    return Liveness(trace, ranges, evk_ranges)

@@ -1,0 +1,83 @@
+"""The scheduler's product: a trace plus its allocation decisions.
+
+A :class:`ScheduledTrace` bundles an (optionally fused) annotated
+trace with the liveness analysis and the scratchpad allocator's event
+log.  ``Simulator.run`` accepts it directly and derives each op's
+off-chip bytes and spill traffic from the recorded decisions instead
+of the legacy closed-form overflow model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.isa import HeOp, Trace
+from repro.params.presets import WordLengthSetting
+from repro.sched.alloc import ScratchpadAllocator
+from repro.sched.events import ScheduleEvent, ScheduleLog
+from repro.sched.fusion import FusionReport, fuse_trace
+from repro.sched.liveness import Liveness, analyze_liveness
+
+__all__ = ["ScheduledTrace", "schedule_trace"]
+
+
+@dataclass
+class ScheduledTrace:
+    """An annotated trace with its schedule fully decided."""
+
+    trace: Trace
+    liveness: Liveness
+    log: ScheduleLog
+    fusion: FusionReport | None = None
+
+    # -- Trace-compatible surface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.trace.name
+
+    @property
+    def ops(self) -> list[HeOp]:
+        return self.trace.ops
+
+    @property
+    def normalize(self) -> float:
+        return self.trace.normalize
+
+    @property
+    def policy(self) -> str:
+        return self.log.policy
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.log.capacity_bytes
+
+    def event(self, index: int) -> ScheduleEvent:
+        return self.log.events[index]
+
+    @property
+    def offchip_bytes(self) -> float:
+        return self.log.offchip_bytes
+
+    @property
+    def spill_bytes(self) -> float:
+        return self.log.spill_bytes
+
+
+def schedule_trace(
+    trace: Trace,
+    setting: WordLengthSetting,
+    capacity_bytes: float,
+    policy: str = "belady",
+    prng_evk: bool = True,
+    fuse: bool = False,
+) -> ScheduledTrace:
+    """Run the scheduling pipeline: (fusion) -> liveness -> allocation."""
+    report = None
+    if fuse:
+        trace, report = fuse_trace(trace)
+    liveness = analyze_liveness(trace, setting, prng_evk=prng_evk)
+    log = ScratchpadAllocator(capacity_bytes, policy=policy).run(
+        trace, setting, prng_evk=prng_evk, liveness=liveness
+    )
+    return ScheduledTrace(trace=trace, liveness=liveness, log=log, fusion=report)

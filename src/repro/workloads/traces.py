@@ -11,11 +11,23 @@ The :class:`TraceBuilder` tracks the level cursor through the normal
 region and transparently inserts a full bootstrapping sequence whenever
 the chain is exhausted — matching how the paper's compiler schedules
 FHE programs (all workloads spend 59-95% of their time bootstrapping).
+
+All generated ops carry SSA dataflow annotations (``dst``/``srcs``):
+the builder threads a current-value cursor through the op stream, and
+rotation ladders produce temporaries that stay live until the next
+accumulation consumes them — which is exactly the (bs + 1)-ciphertext
+BSGS working set the paper's Fig. 5(b) plots.  The annotations feed
+the :mod:`repro.sched` scheduling compiler; the legacy closed-form
+simulator path ignores them.
+
+With ``explicit_rescale=True`` the builder emits each consuming op
+followed by a standalone ``RESCALE`` instead of folding the drop into
+the op — the *unfused* form that :mod:`repro.sched.fusion` re-fuses,
+so fusion savings can be measured.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.hw.isa import HeOp, OpKind, Trace
@@ -40,26 +52,74 @@ EVALMOD_HMULTS = 20
 EVALMOD_PMULTS = 40
 
 
-def _bootstrap_ops(setting: WordLengthSetting) -> list[HeOp]:
-    """The HE-op sequence of one full bootstrapping invocation."""
+class _ValueNamer:
+    """Monotonic SSA value-id generator (``v<n>_<hint>``)."""
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    def __call__(self, hint: str = "v") -> str:
+        self._n += 1
+        return f"v{self._n}_{hint}"
+
+
+def _bootstrap_ops(
+    setting: WordLengthSetting,
+    namer: _ValueNamer | None = None,
+    src: str | None = None,
+    explicit_rescale: bool = False,
+) -> tuple[list[HeOp], str]:
+    """The HE-op sequence of one full bootstrapping invocation.
+
+    Returns the ops and the SSA id of the refreshed ciphertext.
+    """
+    namer = namer if namer is not None else _ValueNamer()
+    cur = src if src is not None else namer("boot_in")
     ops: list[HeOp] = []
+
+    def emit(kind, limbs, drop=0, key_id=None, count=1.0, srcs=None):
+        nonlocal cur
+        use = tuple(srcs) if srcs is not None else (cur,)
+        if explicit_rescale and drop:
+            mid = namer(kind.value)
+            ops.append(HeOp(kind, limbs, 0, key_id, count, dst=mid, srcs=use))
+            dst = namer("rescale")
+            ops.append(HeOp(OpKind.RESCALE, limbs, drop, dst=dst, srcs=(mid,)))
+        else:
+            dst = namer(kind.value)
+            ops.append(HeOp(kind, limbs, drop, key_id, count, dst=dst, srcs=use))
+        cur = dst
+
+    def rotate_ladder(limbs: int, tag: str) -> list[str]:
+        temps = []
+        for r in range(LT_ROTATIONS_PER_STAGE):
+            t = namer("rot")
+            ops.append(
+                HeOp(OpKind.HROT, limbs, key_id=f"{tag}_{r}", dst=t, srcs=(cur,))
+            )
+            temps.append(t)
+        return temps
+
     base = setting.base_prime_count
     boot = setting.group("boot")
     stc = setting.group("stc")
     normal = setting.group("normal")
 
     total = setting.max_level
-    ops.append(HeOp(OpKind.MOD_RAISE, total))
+    emit(OpKind.MOD_RAISE, total)
 
     limbs = total
     # CtS stages at the top boot levels.
     cts_levels = min(CTS_STAGES, boot.levels)
     for stage in range(cts_levels):
         drop = boot.primes_per_level
-        for r in range(LT_ROTATIONS_PER_STAGE):
-            ops.append(HeOp(OpKind.HROT, limbs, key_id=f"boot_cts{stage}_{r}"))
-        ops.append(
-            HeOp(OpKind.PMULT, limbs, drop=drop, count=LT_PMULTS_PER_STAGE)
+        temps = rotate_ladder(limbs, f"boot_cts{stage}")
+        emit(
+            OpKind.PMULT,
+            limbs,
+            drop=drop,
+            count=LT_PMULTS_PER_STAGE,
+            srcs=[cur, *temps],
         )
         limbs -= drop
 
@@ -69,19 +129,24 @@ def _bootstrap_ops(setting: WordLengthSetting) -> list[HeOp]:
         pm = EVALMOD_PMULTS / evalmod_levels
         for _ in range(evalmod_levels):
             drop = boot.primes_per_level
-            ops.append(HeOp(OpKind.HMULT, limbs, drop=drop, key_id="mult", count=hm))
-            ops.append(HeOp(OpKind.PMULT, limbs, drop=drop, count=pm))
+            emit(OpKind.HMULT, limbs, drop=drop, key_id="mult", count=hm)
+            emit(OpKind.PMULT, limbs, drop=drop, count=pm)
             limbs -= drop
 
     for stage in range(min(STC_STAGES, stc.levels)):
         drop = stc.primes_per_level
-        for r in range(LT_ROTATIONS_PER_STAGE):
-            ops.append(HeOp(OpKind.HROT, limbs, key_id=f"boot_stc{stage}_{r}"))
-        ops.append(HeOp(OpKind.PMULT, limbs, drop=drop, count=LT_PMULTS_PER_STAGE))
+        temps = rotate_ladder(limbs, f"boot_stc{stage}")
+        emit(
+            OpKind.PMULT,
+            limbs,
+            drop=drop,
+            count=LT_PMULTS_PER_STAGE,
+            srcs=[cur, *temps],
+        )
         limbs -= drop
 
     assert limbs == base + normal.levels * normal.primes_per_level
-    return ops
+    return ops, cur
 
 
 @dataclass
@@ -91,12 +156,16 @@ class TraceBuilder:
     setting: WordLengthSetting
     name: str
     peak_temporaries: int = 6
+    explicit_rescale: bool = False
 
     def __post_init__(self):
         self._normal = self.setting.group("normal")
         self._level = self._normal.levels  # normal levels remaining
         self._ops: list[HeOp] = []
         self.bootstrap_count = 0
+        self._namer = _ValueNamer()
+        self._cur = self._namer("input")  # external input ciphertext
+        self._pending: list[str] = []  # rotation outputs awaiting accumulation
 
     @property
     def limbs(self) -> int:
@@ -107,7 +176,14 @@ class TraceBuilder:
 
     def _ensure_levels(self, needed: int) -> None:
         if self._level < needed:
-            self._ops.extend(_bootstrap_ops(self.setting))
+            ops, out = _bootstrap_ops(
+                self.setting,
+                namer=self._namer,
+                src=self._cur,
+                explicit_rescale=self.explicit_rescale,
+            )
+            self._ops.extend(ops)
+            self._cur = out
             self._level = self._normal.levels
             self.bootstrap_count += 1
 
@@ -121,12 +197,41 @@ class TraceBuilder:
         """Append ``count`` identical ops, consuming ``consumes`` levels each."""
         self._ensure_levels(consumes if consumes else 1)
         drop = self._normal.primes_per_level if consumes else 0
-        self._ops.append(HeOp(kind, self.limbs, drop=drop, key_id=key_id, count=count))
+        srcs = [self._cur]
+        if kind in (OpKind.HADD, OpKind.PMADD) and self._pending:
+            srcs.extend(self._pending)
+            self._pending.clear()
+        if self.explicit_rescale and drop:
+            mid = self._namer(kind.value)
+            self._ops.append(
+                HeOp(kind, self.limbs, 0, key_id, count, dst=mid, srcs=tuple(srcs))
+            )
+            dst = self._namer("rescale")
+            self._ops.append(
+                HeOp(OpKind.RESCALE, self.limbs, drop, dst=dst, srcs=(mid,))
+            )
+        else:
+            dst = self._namer(kind.value)
+            self._ops.append(
+                HeOp(kind, self.limbs, drop, key_id, count, dst=dst, srcs=tuple(srcs))
+            )
+        self._cur = dst
         self._level -= consumes
 
     def rotations(self, how_many: int, tag: str) -> None:
         for r in range(how_many):
-            self.op(OpKind.HROT, key_id=f"{tag}_{r}")
+            self._ensure_levels(1)
+            dst = self._namer("rot")
+            self._ops.append(
+                HeOp(
+                    OpKind.HROT,
+                    self.limbs,
+                    key_id=f"{tag}_{r}",
+                    dst=dst,
+                    srcs=(self._cur,),
+                )
+            )
+            self._pending.append(dst)
 
     def build(self) -> Trace:
         return Trace(
@@ -134,18 +239,24 @@ class TraceBuilder:
         )
 
 
-def bootstrap_trace(setting: WordLengthSetting) -> Trace:
+def bootstrap_trace(
+    setting: WordLengthSetting, explicit_rescale: bool = False
+) -> Trace:
     """One bootstrapping invocation, normalized per effective level."""
+    ops, _ = _bootstrap_ops(setting, explicit_rescale=explicit_rescale)
     return Trace(
         name="bootstrap",
-        ops=_bootstrap_ops(setting),
+        ops=ops,
         peak_temporaries=6,
         normalize=setting.group("normal").levels,
     )
 
 
 def helr_trace(
-    setting: WordLengthSetting, batch: int = 1024, iterations: int = 4
+    setting: WordLengthSetting,
+    batch: int = 1024,
+    iterations: int = 4,
+    explicit_rescale: bool = False,
 ) -> Trace:
     """HELR training iterations (logistic regression, 196 features).
 
@@ -156,7 +267,9 @@ def helr_trace(
     and bootstrapping is charged at its steady-state rate; runtimes
     are normalized per iteration.
     """
-    b = TraceBuilder(setting, f"helr{batch}", peak_temporaries=6)
+    b = TraceBuilder(
+        setting, f"helr{batch}", peak_temporaries=6, explicit_rescale=explicit_rescale
+    )
     streams = max(1, batch // 256)
     features_log = 8  # ceil(log2(196))
     for _it in range(iterations):
@@ -179,7 +292,9 @@ def helr_trace(
     return trace
 
 
-def resnet20_trace(setting: WordLengthSetting) -> Trace:
+def resnet20_trace(
+    setting: WordLengthSetting, explicit_rescale: bool = False
+) -> Trace:
     """ResNet-20 CIFAR-10 inference (multiplexed-convolution style [75]).
 
     Twenty convolution layers, each a BSGS linear transform over the
@@ -187,7 +302,9 @@ def resnet20_trace(setting: WordLengthSetting) -> Trace:
     inserted whenever the chain runs dry, giving the dozens of
     bootstrap invocations the paper's 59-95% boot share reflects.
     """
-    b = TraceBuilder(setting, "resnet20", peak_temporaries=8)
+    b = TraceBuilder(
+        setting, "resnet20", peak_temporaries=8, explicit_rescale=explicit_rescale
+    )
     for layer in range(20):
         # Multiplexed convolution: rotations + plaintext MACs.
         b.rotations(12, f"conv{layer}")
@@ -203,13 +320,17 @@ def resnet20_trace(setting: WordLengthSetting) -> Trace:
     return b.build()
 
 
-def sorting_trace(setting: WordLengthSetting, log_elems: int = 14) -> Trace:
+def sorting_trace(
+    setting: WordLengthSetting, log_elems: int = 14, explicit_rescale: bool = False
+) -> Trace:
     """Two-way bitonic sorting of 2^14 packed values [52].
 
     ``k*(k+1)/2`` comparator stages; each stage evaluates a composite
     sign polynomial (depth ~8) on rotated pairs.
     """
-    b = TraceBuilder(setting, "sorting", peak_temporaries=4)
+    b = TraceBuilder(
+        setting, "sorting", peak_temporaries=4, explicit_rescale=explicit_rescale
+    )
     stages = log_elems * (log_elems + 1) // 2
     for stage in range(stages):
         b.rotations(2, f"sort{stage % 16}")
@@ -230,12 +351,14 @@ def synthetic_trace(setting: WordLengthSetting, hmults_per_level: int) -> Trace:
     return b.build()
 
 
-def evaluation_traces(setting: WordLengthSetting) -> dict[str, Trace]:
+def evaluation_traces(
+    setting: WordLengthSetting, explicit_rescale: bool = False
+) -> dict[str, Trace]:
     """The five workloads of Fig. 6(a)."""
     return {
-        "bootstrap": bootstrap_trace(setting),
-        "helr256": helr_trace(setting, 256),
-        "helr1024": helr_trace(setting, 1024),
-        "resnet20": resnet20_trace(setting),
-        "sorting": sorting_trace(setting),
+        "bootstrap": bootstrap_trace(setting, explicit_rescale=explicit_rescale),
+        "helr256": helr_trace(setting, 256, explicit_rescale=explicit_rescale),
+        "helr1024": helr_trace(setting, 1024, explicit_rescale=explicit_rescale),
+        "resnet20": resnet20_trace(setting, explicit_rescale=explicit_rescale),
+        "sorting": sorting_trace(setting, explicit_rescale=explicit_rescale),
     }

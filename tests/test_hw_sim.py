@@ -222,3 +222,34 @@ class TestSimulator:
         tr = bootstrap_trace(base.setting())
         assert Simulator(base).run(tr).spill_bytes == 0
         assert Simulator(no_ft).run(tr).spill_bytes > 0
+
+    def test_empty_trace_reports_zero_power(self, sharp_sim):
+        """Regression: power_w on a zero-second run raised ZeroDivisionError."""
+        r = sharp_sim.run(Trace("empty"))
+        assert r.seconds == 0 and r.cycles == 0
+        assert r.power_w == 0.0
+        assert r.perf_per_watt() == 0.0
+        assert r.perf_per_area() == 0.0
+        assert all(u == 0.0 for u in r.utilization.values())
+
+    def test_rf_bottleneck_serializes_all_fus(self, sharp_sim):
+        """Regression: when RF bandwidth bounds the op, the largest FU
+        used to be exempted from the serialization penalty."""
+        fu = {"nttu": 10.0, "bconvu": 5.0, "ewe": 0.0, "autou": 0.0, "dsu": 0.0}
+        # FU-bound: bottleneck 10, others exclude the bottleneck unit.
+        assert sharp_sim._compute_cycles(fu, 1.0) == pytest.approx(10 + 0.30 * 5)
+        # RF-bound: every FU is a non-bottleneck unit now.
+        assert sharp_sim._compute_cycles(fu, 100.0) == pytest.approx(100 + 0.30 * 15)
+
+    def test_evk_capacity_fraction_is_sweepable(self, sharp):
+        """Smaller evk residency share -> more key re-streaming traffic."""
+        assert sharp.evk_capacity_fraction == pytest.approx(0.35)
+        # Two rotation keys reused back and forth: they fit the default
+        # residency budget, but a zero share forces a reload per reuse.
+        tr = Trace(
+            "key_reuse",
+            [HeOp(OpKind.HROT, 20, key_id=f"r{i % 2}") for i in range(6)],
+        )
+        tight = Simulator(sharp.with_features(evk_capacity_fraction=0.0)).run(tr)
+        roomy = Simulator(sharp.with_features(evk_capacity_fraction=1.0)).run(tr)
+        assert tight.offchip_bytes > roomy.offchip_bytes
