@@ -1,0 +1,266 @@
+"""Op-level throughput of the wide-modulus kernel layer (PR 2 tentpole).
+
+Measures the hot kernels the accelerator accelerates — elementwise
+modular multiply, negacyclic NTT, BConv, HMult, key-switch — on the
+vectorized emulated-128-bit path (:mod:`repro.rns.kernels`) against the
+object-array path that wide primes used to require, and records the
+results to ``BENCH_kernels.json`` so later PRs have a perf trajectory
+to regress against.
+
+Run directly (not under pytest):
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py           # full
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick   # CI smoke
+
+The acceptance bar for the kernel layer is a >= 5x speedup over the
+object path for the N = 2^14 NTT at SHARP's 36-bit word.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ntt.reference import NttChain, NttContext
+from repro.params.primes import find_ntt_primes
+from repro.rns import kernels
+from repro.rns.bconv import BaseConverter
+from repro.rns.poly import RingContext, RnsPolynomial
+
+WORD_BITS = 36
+
+
+def _primes(two_n: int, bits: int, count: int, exclude=None) -> list[int]:
+    return find_ntt_primes(
+        two_n,
+        float(2**bits * 0.9),
+        count,
+        max_value=2 ** (bits + 1) - 1,
+        min_value=2 ** (bits - 1),
+        exclude=exclude,
+    )
+
+
+def _time(fn, reps: int) -> float:
+    """Best-of-``reps`` wall seconds (one untimed warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- object-array baselines (the pre-kernel wide-modulus path) -------------
+
+
+def _object_mulmod(a_obj, b_obj, q: int):
+    return a_obj * b_obj % q
+
+
+def _object_ntt_forward(a_obj, psi_rev_obj, q: int):
+    """CT butterflies on dtype=object arrays — exact but per-element
+    Python-int arithmetic, which is what every modulus above 2^31 paid
+    before the kernel layer existed."""
+    a = a_obj.copy()
+    n = a.shape[-1]
+    t, m = n, 1
+    while m < n:
+        t //= 2
+        view = a.reshape(m, 2 * t)
+        s = psi_rev_obj[m : 2 * m, None]
+        u = view[:, :t].copy()
+        v = view[:, t:] * s % q
+        view[:, :t] = (u + v) % q
+        view[:, t:] = (u - v) % q
+        m *= 2
+    return a
+
+
+def _object_bconv(y_obj, table, dst_moduli):
+    rows = []
+    for j, p in enumerate(dst_moduli):
+        tab = np.array([int(w) for w in table[j]], dtype=object).reshape(-1, 1)
+        rows.append((y_obj * tab).sum(axis=0) % p)
+    return rows
+
+
+# -- benchmark sections ------------------------------------------------------
+
+
+def bench_mulmod(n: int, reps: int) -> dict:
+    q = _primes(2 * n, WORD_BITS, 1)[0]
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    b = rng.integers(0, q, n, dtype=np.uint64)
+    kern = kernels.kernel_for(q)
+    ao, bo = a.astype(object), b.astype(object)
+    t_kernel = _time(lambda: kern.mul(a, b), reps)
+    t_object = _time(lambda: _object_mulmod(ao, bo, q), reps)
+    assert np.array_equal(kern.mul(a, b), _object_mulmod(ao, bo, q).astype(np.uint64))
+    return {
+        "op": "mulmod",
+        "n": n,
+        "prime_bits": q.bit_length(),
+        "kernel_ms": t_kernel * 1e3,
+        "object_ms": t_object * 1e3,
+        "speedup": t_object / t_kernel,
+    }
+
+
+def bench_ntt(n: int, reps: int) -> dict:
+    q = _primes(2 * n, WORD_BITS, 1)[0]
+    ctx = NttContext(n, q)
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    psi_obj = ctx._psi_rev.astype(object)
+    a_obj = a.astype(object)
+    t_kernel = _time(lambda: ctx.forward(a), reps)
+    t_object = _time(lambda: _object_ntt_forward(a_obj, psi_obj, q), reps)
+    # bit-exactness of the lazy path against the object butterflies
+    ref = _object_ntt_forward(a_obj, psi_obj, q).astype(np.uint64)[ctx._rev]
+    assert np.array_equal(ctx.forward(a), ref)
+    return {
+        "op": "ntt_forward",
+        "n": n,
+        "prime_bits": q.bit_length(),
+        "kernel_ms": t_kernel * 1e3,
+        "object_ms": t_object * 1e3,
+        "speedup": t_object / t_kernel,
+    }
+
+
+def bench_ntt_chain(n: int, limbs: int, reps: int) -> dict:
+    mods = _primes(2 * n, WORD_BITS, limbs)
+    plans = [NttContext(n, q) for q in mods]
+    chain = NttChain(plans)
+    rng = np.random.default_rng(3)
+    mat = np.stack([rng.integers(0, q, n, dtype=np.uint64) for q in mods])
+    t_chain = _time(lambda: chain.forward_all(mat), reps)
+    t_loop = _time(
+        lambda: np.stack([p.forward(mat[i]) for i, p in enumerate(plans)]), reps
+    )
+    return {
+        "op": "ntt_forward_all",
+        "n": n,
+        "limbs": limbs,
+        "prime_bits": WORD_BITS,
+        "kernel_ms": t_chain * 1e3,
+        "per_limb_loop_ms": t_loop * 1e3,
+        "speedup": t_loop / t_chain,
+    }
+
+
+def bench_bconv(n: int, src_limbs: int, dst_limbs: int, reps: int) -> dict:
+    src = _primes(2 * n, WORD_BITS, src_limbs)
+    dst = _primes(2 * n, WORD_BITS - 1, dst_limbs, exclude=set(src))
+    conv = BaseConverter(src, dst, centered=False)
+    ring = RingContext(n)
+    rng = np.random.default_rng(4)
+    limbs = np.stack([rng.integers(0, q, n, dtype=np.uint64) for q in src])
+    poly = RnsPolynomial(ring, tuple(src), limbs, ntt_form=False)
+    y = kernels.shoup_mul(limbs, conv._inv_col, conv._inv_shoup, conv._src_kernel.q)
+    y_obj = y.astype(object)
+    t_kernel = _time(lambda: conv.convert(poly), reps)
+    t_object = _time(lambda: _object_bconv(y_obj, conv.table, dst), reps)
+    ref = np.stack(
+        [r.astype(np.uint64) for r in _object_bconv(y_obj, conv.table, dst)]
+    )
+    assert np.array_equal(conv.convert(poly).limbs, ref)
+    return {
+        "op": "bconv",
+        "n": n,
+        "src_limbs": src_limbs,
+        "dst_limbs": dst_limbs,
+        "prime_bits": WORD_BITS,
+        "kernel_ms": t_kernel * 1e3,
+        "object_ms": t_object * 1e3,
+        "speedup": t_object / t_kernel,
+    }
+
+
+def bench_ckks_ops(degree: int, reps: int) -> list[dict]:
+    """HMult and key-switch (rotation) on the native 36-bit preset."""
+    from repro.ckks.context import CkksContext
+    from repro.ckks.ops import Evaluator
+    from repro.params.presets import build_native_ckks_params
+
+    params = build_native_ckks_params(
+        word_bits=WORD_BITS, degree=degree, depth=4
+    )
+    ctx = CkksContext(params, seed=7)
+    ev = Evaluator(ctx)
+    rng = np.random.default_rng(5)
+    z = rng.standard_normal(params.slots) + 1j * rng.standard_normal(params.slots)
+    ct_a = ctx.encrypt(z)
+    ct_b = ctx.encrypt(z)
+    t_hmult = _time(lambda: ev.multiply(ct_a, ct_b), reps)
+    t_rot = _time(lambda: ev.rotate(ct_a, 1), reps)
+    common = {"n": degree, "prime_bits": WORD_BITS, "limbs": len(ct_a.moduli)}
+    return [
+        {"op": "hmult", "kernel_ms": t_hmult * 1e3, **common},
+        {"op": "keyswitch_rotate", "kernel_ms": t_rot * 1e3, **common},
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes / one rep (CI smoke; numbers not representative)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+        help="output JSON path (default: repo-root BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n, reps, degree = 1 << 10, 1, 1 << 10
+        limbs, src_l, dst_l = 4, 4, 3
+    else:
+        n, reps, degree = 1 << 14, 3, 1 << 12
+        limbs, src_l, dst_l = 8, 8, 4
+
+    results = [
+        bench_mulmod(n, reps),
+        bench_ntt(n, reps),
+        bench_ntt_chain(n, limbs, reps),
+        bench_bconv(n, src_l, dst_l, reps),
+        *bench_ckks_ops(degree, reps),
+    ]
+
+    report = {
+        "bench": "kernels",
+        "word_bits": WORD_BITS,
+        "fast_modulus_bits": kernels.FAST_MODULUS_BITS,
+        "quick": args.quick,
+        "results": results,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{'op':<18} {'n':>6} {'kernel_ms':>10} {'baseline_ms':>12} {'speedup':>8}")
+    for r in results:
+        base = r.get("object_ms", r.get("per_limb_loop_ms"))
+        base_s = "-" if base is None else f"{base:.3f}"
+        speed_s = "-" if "speedup" not in r else f"{r['speedup']:.1f}x"
+        print(
+            f"{r['op']:<18} {r['n']:>6} {r['kernel_ms']:>10.3f} "
+            f"{base_s:>12} {speed_s:>8}"
+        )
+    print(f"\nwrote {args.out}")
+
+    ntt = next(r for r in results if r["op"] == "ntt_forward")
+    if not args.quick and ntt["speedup"] < 5.0:
+        print(f"FAIL: NTT speedup {ntt['speedup']:.1f}x below the 5x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

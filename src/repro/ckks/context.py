@@ -19,7 +19,12 @@ import numpy as np
 
 from repro.ckks.cipher import Ciphertext, Plaintext
 from repro.ckks.encoder import CkksEncoder
-from repro.params.primes import find_aux_primes, find_ds_pairs, find_ss_primes
+from repro.params.primes import (
+    PrimeScarcityError,
+    find_aux_primes,
+    find_ds_pairs,
+    find_ss_primes,
+)
 from repro.rns.modmath import mod_inverse
 from repro.rns.poly import RingContext, RnsPolynomial
 
@@ -139,16 +144,30 @@ class CkksParams:
 
 
 def _steps_for_scale(
-    two_n: int, scale_bits: float, count: int, exclude: set[int]
+    two_n: int,
+    scale_bits: float,
+    count: int,
+    exclude: set[int],
+    word_bits: int = _FAST_PRIME_BITS + 1,
 ) -> list[LevelStep]:
-    """Realize ``count`` rescale steps of one scale, SS first then DS."""
+    """Realize ``count`` rescale steps of one scale, SS first then DS.
+
+    ``word_bits`` is the machine-word width primes must fit in.  A scale
+    within one bit of the word is realized by single primes (SS); wider
+    scales fall back to double-prime pairs (DS).  With a 36-bit word —
+    SHARP's robust word length — the paper's 35-bit scale runs SS on
+    single native primes.
+    """
     if count <= 0:
         return []
-    if scale_bits <= _FAST_PRIME_BITS:
-        primes = find_ss_primes(two_n, scale_bits, count, _FAST_PRIME_BITS + 1, exclude=exclude)
-        exclude.update(primes)
-        return [LevelStep((p,)) for p in primes]
-    pairs = find_ds_pairs(two_n, scale_bits, count, _FAST_PRIME_BITS + 1, exclude=exclude)
+    if scale_bits + 1 <= word_bits:
+        try:
+            primes = find_ss_primes(two_n, scale_bits, count, word_bits, exclude=exclude)
+            exclude.update(primes)
+            return [LevelStep((p,)) for p in primes]
+        except PrimeScarcityError:
+            pass  # not enough single primes near the scale: pair up
+    pairs = find_ds_pairs(two_n, scale_bits, count, word_bits, exclude=exclude)
     for a, b in pairs:
         exclude.update((a, b))
     return [LevelStep((a, b)) for a, b in pairs]
@@ -163,32 +182,40 @@ def make_params(
     boot_depth: int = 0,
     dnum: int = 3,
     hamming_weight: int | None = None,
+    word_bits: int | None = None,
 ) -> CkksParams:
     """Build a functional parameter set.
 
     ``depth`` normal levels at ``2**scale_bits`` sit at the *end* of the
     chain (consumed first); ``boot_depth`` levels at the bootstrap scale
-    sit between them and the base.  All primes are < 2^31 (fast path);
-    larger scales become DS pairs automatically.
+    sit between them and the base.  ``word_bits`` caps every prime's
+    width; the default (31) matches the historical narrow fast path,
+    while e.g. 36 — SHARP's robust word — realizes a 35-bit scale with
+    single native primes on the wide kernel path (q < 2^62).  Scales
+    that do not fit the word become DS pairs automatically.
     """
     if slots is None:
         slots = degree // 4
     two_n = 2 * degree
+    if word_bits is None:
+        word_bits = _FAST_PRIME_BITS + 1
+    if not 4 <= word_bits <= 62:
+        raise ValueError("word_bits must be in [4, 62]")
     exclude: set[int] = set()
 
-    base_bits = min(float(_FAST_PRIME_BITS), scale_bits + _BASE_HEADROOM_BITS)
-    if scale_bits + _BASE_HEADROOM_BITS > _FAST_PRIME_BITS:
-        base_bits = scale_bits + _BASE_HEADROOM_BITS  # realized as a DS pair
-    base_steps = _steps_for_scale(two_n, base_bits, 1, exclude)
+    base_bits = scale_bits + _BASE_HEADROOM_BITS
+    base_steps = _steps_for_scale(two_n, base_bits, 1, exclude, word_bits)
     base_primes = base_steps[0].primes
 
     boot_steps: list[LevelStep] = []
     if boot_depth:
         if boot_scale_bits is None:
             raise ValueError("boot_depth > 0 requires boot_scale_bits")
-        boot_steps = _steps_for_scale(two_n, boot_scale_bits, boot_depth, exclude)
+        boot_steps = _steps_for_scale(
+            two_n, boot_scale_bits, boot_depth, exclude, word_bits
+        )
 
-    normal_steps = _steps_for_scale(two_n, scale_bits, depth, exclude)
+    normal_steps = _steps_for_scale(two_n, scale_bits, depth, exclude, word_bits)
 
     # Normal levels first, bootstrap levels last: rescaling consumes the
     # chain from the end, and after ModRaise the bootstrap pipeline must
@@ -203,7 +230,7 @@ def make_params(
     # ~7 bits of precision).
     alpha = math.ceil(len(q_primes) / dnum)
     aux = find_aux_primes(
-        two_n, alpha + 1, min_value=max(q_primes), word_bits=_FAST_PRIME_BITS + 1
+        two_n, alpha + 1, min_value=max(q_primes), word_bits=word_bits
     )
 
     if hamming_weight is None:

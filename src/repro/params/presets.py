@@ -49,6 +49,7 @@ __all__ = [
     "WordLengthSetting",
     "build_setting",
     "build_sharp_setting",
+    "build_native_ckks_params",
     "WORD_LENGTHS",
     "DEFAULT_NORMAL_SCALE_BITS",
     "DEFAULT_BOOT_SCALE_BITS",
@@ -361,6 +362,39 @@ def _supportable_scale(
     # DS path: need `levels` distinct pairs.
     min_bits = min_ds_scale_bits(two_n, levels, word_bits)
     return float(max(min_bits, requested_bits))
+
+
+def build_native_ckks_params(
+    word_bits: int = 36,
+    degree: int = 1 << 12,
+    slots: int | None = None,
+    depth: int = 8,
+    boot_scale_bits: float | None = None,
+    boot_depth: int = 0,
+    dnum: int = DEFAULT_DNUM,
+    hamming_weight: int | None = None,
+):
+    """Functional ``CkksParams`` on *native* ``word_bits``-wide primes.
+
+    The normal scale is ``word_bits - 1`` — Set_36's 35-bit robust scale
+    for the default word — realized as single primes that run directly
+    on the wide kernel fast path (:mod:`repro.rns.kernels`), with no
+    double-prime emulation anywhere in the chain.  The CKKS layer picks
+    the preset up unchanged: only the primes are wider.
+    """
+    from repro.ckks.context import make_params  # params must not import ckks eagerly
+
+    return make_params(
+        degree=degree,
+        slots=slots,
+        scale_bits=float(word_bits - 1),
+        depth=depth,
+        boot_scale_bits=boot_scale_bits,
+        boot_depth=boot_depth,
+        dnum=dnum,
+        hamming_weight=hamming_weight,
+        word_bits=word_bits,
+    )
 
 
 # Cache: settings at N=2^16 take a few seconds of prime search each.

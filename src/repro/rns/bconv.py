@@ -7,10 +7,15 @@ another ``{p_j}`` without leaving RNS:
 
 which is a matrix-matrix multiplication between the ``L x N`` limb
 matrix and a precomputed ``K x L`` *base table* — the computation
-SHARP's 2-D systolic BConvU streams (S4.5).  The conversion is the
-*approximate* (HPS-style) variant: the result may be off by a small
-multiple ``e * Q`` with ``0 <= e < L``, which downstream CKKS noise
-absorbs — the same behaviour as every RNS-CKKS library.
+SHARP's 2-D systolic BConvU streams (S4.5).  Both factors of each term
+are constants known at setup, so the inner products run entirely on
+Shoup precomputed-quotient multiplies (:mod:`repro.rns.kernels`) with a
+split-accumulator reduction (``ModulusKernel.sum_mod``) instead of a
+per-limb Python loop — valid for any modulus below ``2**62``, covering
+SHARP's native 36-bit primes.  The conversion is the *approximate*
+(HPS-style) variant: the result may be off by a small multiple
+``e * Q`` with ``0 <= e < L``, which downstream CKKS noise absorbs —
+the same behaviour as every RNS-CKKS library.
 
 BConv requires coefficient representation (the INTT -> BConv -> NTT
 pattern the paper's dataflow optimizes for).
@@ -20,8 +25,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.rns import kernels
 from repro.rns.modmath import mod_inverse
-from repro.rns.poly import RingContext, RnsPolynomial
+from repro.rns.poly import RnsPolynomial
 
 __all__ = ["BaseConverter"]
 
@@ -43,27 +49,45 @@ class BaseConverter:
         self.centered = centered
         if set(self.src_moduli) & set(self.dst_moduli):
             raise ValueError("source and destination bases must be disjoint")
+        for q in self.src_moduli + self.dst_moduli:
+            if q >= kernels.FAST_MODULUS_LIMIT:
+                raise ValueError(
+                    f"modulus {q} >= 2^{kernels.FAST_MODULUS_BITS} is outside "
+                    "the vectorized BConv range"
+                )
         q_big = 1
         for q in self.src_moduli:
             q_big *= q
-        # q_hat_i = Q / q_i ; inv_i = q_hat_i^(-1) mod q_i
-        self._inv = np.array(
-            [
-                mod_inverse((q_big // q) % q, q)
-                for q in self.src_moduli
-            ],
+        # y_i = [a_i * q_hat_i^(-1)]_{q_i}: per-row constants with Shoup
+        # quotients, consumed by the chain-mode source kernel.
+        self._src_kernel = kernels.ModulusKernel(self.src_moduli)
+        inv = [mod_inverse((q_big // q) % q, q) for q in self.src_moduli]
+        self._inv = np.array(inv, dtype=np.uint64)
+        self._inv_col = self._inv.reshape(-1, 1)
+        self._inv_shoup = np.array(
+            [(v << 64) // q for v, q in zip(inv, self.src_moduli)],
+            dtype=np.uint64,
+        ).reshape(-1, 1)
+        # Base table: table[j][i] = q_hat_i mod p_j  (the K x L matrix),
+        # plus its Shoup quotients w.r.t. each destination prime.
+        table = [
+            [(q_big // q) % p for q in self.src_moduli] for p in self.dst_moduli
+        ]
+        self.table = np.array(table, dtype=np.uint64)
+        self.table_shoup = np.array(
+            [[(w << 64) // p for w in row] for row, p in zip(table, self.dst_moduli)],
             dtype=np.uint64,
         )
-        # Base table: table[j][i] = q_hat_i mod p_j  (the K x L matrix).
-        self.table = np.array(
-            [
-                [(q_big // q) % p for q in self.src_moduli]
-                for p in self.dst_moduli
-            ],
-            dtype=np.uint64,
-        )
+        self._dst_kernels = [kernels.kernel_for(p) for p in self.dst_moduli]
         self._q_mod_dst = np.array(
             [q_big % p for p in self.dst_moduli], dtype=np.uint64
+        )
+        # Centered correction constant (-Q mod p_j) with Shoup quotient.
+        corr = [(p - q_big % p) % p for p in self.dst_moduli]
+        self._corr = np.array(corr, dtype=np.uint64)
+        self._corr_shoup = np.array(
+            [(c << 64) // p for c, p in zip(corr, self.dst_moduli)],
+            dtype=np.uint64,
         )
         self._src_inv_float = np.array(
             [1.0 / q for q in self.src_moduli]
@@ -80,24 +104,31 @@ class BaseConverter:
             raise ValueError("BConv requires the coefficient representation")
         if poly.moduli != self.src_moduli:
             raise ValueError("polynomial basis does not match the converter")
-        src_mods = np.array(self.src_moduli, dtype=np.uint64).reshape(-1, 1)
         # y_i = [a_i * q_hat_i^(-1)]_{q_i}
-        y = poly.limbs * self._inv.reshape(-1, 1) % src_mods
+        y = kernels.shoup_mul(
+            poly.limbs, self._inv_col, self._inv_shoup, self._src_kernel.q
+        )
         if self.centered:
             overflow = np.rint((y * self._src_inv_float).sum(axis=0)).astype(
                 np.uint64
             )
         out_rows = []
-        for j, p in enumerate(self.dst_moduli):
-            pj = np.uint64(p)
-            acc = np.zeros(poly.ring.degree, dtype=np.uint64)
-            for i in range(len(self.src_moduli)):
-                # Reduce each term before accumulating: terms < 2^31,
-                # so sums of up to 2^33 terms stay inside uint64.
-                acc += y[i] * self.table[j, i] % pj
+        for j, kern in enumerate(self._dst_kernels):
+            # terms[i] = y_i * table[j, i] mod p_j, lazy in [0, 2p_j):
+            # still < 2**63, which sum_mod's split accumulator requires.
+            terms = kernels.shoup_mul_lazy(
+                y,
+                self.table[j].reshape(-1, 1),
+                self.table_shoup[j].reshape(-1, 1),
+                kern.q,
+            )
+            acc = kern.sum_mod(terms, axis=0)
             if self.centered:
-                acc += (pj - self._q_mod_dst[j]) * overflow % pj
-            out_rows.append(acc % pj)
+                corr = kernels.shoup_mul(
+                    overflow, self._corr[j], self._corr_shoup[j], kern.q
+                )
+                acc = kern.add(acc, corr)
+            out_rows.append(acc)
         return RnsPolynomial(
             poly.ring, self.dst_moduli, np.stack(out_rows), ntt_form=False
         )

@@ -1,0 +1,303 @@
+"""Vectorized wide-modulus arithmetic: emulated 128-bit products in numpy.
+
+SHARP's whole premise is that a **36-bit machine word** is the robust
+word length for FHE (paper S3) — yet a numpy ``uint64`` lane overflows
+as soon as two residues above ``2**32`` are multiplied, which is why the
+functional library historically capped its fast path at ``q < 2**31``
+and emulated wider scales with double-prime pairs.  This module removes
+that cap the same way multi-precision NTT datapaths do in hardware
+(Alexakis et al.; BASALISC's Montgomery NTT units): every wide modular
+product is decomposed into narrow-word partial products.
+
+Three primitive families, all exact and all vectorized:
+
+* ``mul_wide`` / ``mul_hi`` — 64x64 -> 128-bit multiplication via 32-bit
+  half-words (the systolic-array partial-product decomposition).
+* Barrett reduction with a precomputed ``floor(2**64 / q)`` ratio — the
+  EWE/BConvU reduction path — correct for any 64-bit input when
+  ``q < 2**63``.
+* Shoup multiplication for *constant* operands (twiddles, BConv table
+  entries, rescale inverses): a precomputed quotient
+  ``floor(w * 2**64 / q)`` turns the reduction into one high-half
+  multiply plus two wrapping low multiplies, with a *lazy* variant whose
+  ``[0, 2q)`` output range enables Harvey-style lazy NTT butterflies.
+
+The resulting fast-path bound is ``q < 2**62`` (``FAST_MODULUS_LIMIT``):
+lazy butterflies let intermediate values grow to ``4q``, which must stay
+below ``2**64``.  SHARP's 36-bit primes therefore run natively, with
+~2 bits of headroom beyond the largest bootstrapping scale (``2**62``).
+
+:class:`ModulusKernel` bundles the per-modulus precomputations.  It
+operates in two shapes: a *scalar* kernel (one modulus, any array
+shape) and a *chain* kernel (one modulus per row of an ``(L, N)`` limb
+matrix, constants stored as ``(L, 1)`` columns so every ring op is a
+single broadcast expression over the whole matrix).
+"""
+
+from __future__ import annotations
+
+import functools
+from functools import lru_cache
+
+import numpy as np
+
+
+def _wrapping(fn):
+    """Silence numpy's scalar overflow warnings: uint64 wraparound is
+    the *mechanism* here (low products are taken mod 2**64 by design),
+    and numpy only warns for scalar operands anyway — array paths never
+    check."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with np.errstate(over="ignore"):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+__all__ = [
+    "FAST_MODULUS_BITS",
+    "FAST_MODULUS_LIMIT",
+    "mul_hi",
+    "mul_wide",
+    "add_mod",
+    "sub_mod",
+    "neg_mod",
+    "shoup_precompute",
+    "shoup_mul_lazy",
+    "shoup_mul",
+    "ModulusKernel",
+    "kernel_for",
+]
+
+FAST_MODULUS_BITS = 62
+FAST_MODULUS_LIMIT = 1 << FAST_MODULUS_BITS
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+_U32 = np.uint64(32)
+
+
+@_wrapping
+def mul_hi(a, b) -> np.ndarray:
+    """High 64 bits of the 128-bit product ``a * b`` (elementwise).
+
+    Schoolbook 32-bit half-word decomposition; every partial sum fits
+    ``uint64`` by construction, so the result is exact.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    a_lo = a & _MASK32
+    a_hi = a >> _U32
+    b_lo = b & _MASK32
+    b_hi = b >> _U32
+    ll = a_lo * b_lo
+    lh = a_lo * b_hi
+    hl = a_hi * b_lo
+    # carry chain: three values < 2**32 summed, still < 2**64
+    mid = (ll >> _U32) + (lh & _MASK32) + (hl & _MASK32)
+    return a_hi * b_hi + (lh >> _U32) + (hl >> _U32) + (mid >> _U32)
+
+
+@_wrapping
+def mul_wide(a, b) -> tuple[np.ndarray, np.ndarray]:
+    """Full 128-bit product as ``(hi, lo)`` uint64 pairs (elementwise)."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    a_lo = a & _MASK32
+    a_hi = a >> _U32
+    b_lo = b & _MASK32
+    b_hi = b >> _U32
+    ll = a_lo * b_lo
+    lh = a_lo * b_hi
+    hl = a_hi * b_lo
+    mid = (ll >> _U32) + (lh & _MASK32) + (hl & _MASK32)
+    hi = a_hi * b_hi + (lh >> _U32) + (hl >> _U32) + (mid >> _U32)
+    lo = (mid << _U32) | (ll & _MASK32)
+    return hi, lo
+
+
+@_wrapping
+def add_mod(a, b, q) -> np.ndarray:
+    """``(a + b) mod q`` for canonical residues; needs ``q < 2**63``."""
+    s = a + b
+    return np.where(s >= q, s - q, s)
+
+
+@_wrapping
+def sub_mod(a, b, q) -> np.ndarray:
+    """``(a - b) mod q`` for canonical residues."""
+    return np.where(a >= b, a - b, a + q - b)
+
+
+@_wrapping
+def neg_mod(a, q) -> np.ndarray:
+    """``-a mod q`` for canonical residues."""
+    zero = np.uint64(0)
+    return np.where(a == zero, zero, q - a)
+
+
+def shoup_precompute(w, q: int):
+    """Shoup quotient ``floor(w * 2**64 / q)`` for constants ``w < q``.
+
+    ``w`` may be a Python int or an integer array; the division is done
+    in arbitrary precision (setup-time only) and returned as uint64.
+    """
+    if isinstance(w, np.ndarray):
+        if w.dtype == object:
+            wide = w << 64
+        else:
+            wide = w.astype(object) << 64
+        if isinstance(q, np.ndarray):
+            return (wide // q.astype(object)).astype(np.uint64)
+        return (wide // int(q)).astype(np.uint64)
+    return np.uint64((int(w) << 64) // int(q))
+
+
+@_wrapping
+def shoup_mul_lazy(a, w, w_shoup, q) -> np.ndarray:
+    """``a * w mod q`` up to one extra ``q``: result in ``[0, 2q)``.
+
+    Exact for any ``a < 2**64`` and constant ``w < q < 2**63``; the two
+    low products wrap mod ``2**64`` by design.
+    """
+    qhat = mul_hi(a, w_shoup)
+    return a * w - qhat * q
+
+
+@_wrapping
+def shoup_mul(a, w, w_shoup, q) -> np.ndarray:
+    """``a * w mod q`` canonical, via one conditional subtraction."""
+    r = shoup_mul_lazy(a, w, w_shoup, q)
+    return np.where(r >= q, r - q, r)
+
+
+class ModulusKernel:
+    """Per-modulus (or per-chain) precomputed reduction constants.
+
+    Scalar mode (``ModulusKernel(q)``): constants are uint64 scalars and
+    broadcast with arrays of any shape.  Chain mode
+    (``ModulusKernel([q_0, ..., q_{L-1}])``): constants are ``(L, 1)``
+    columns and broadcast row-wise over an ``(L, N)`` limb matrix.
+    """
+
+    def __init__(self, moduli):
+        if isinstance(moduli, (int, np.integer)):
+            mods = (int(moduli),)
+            scalar = True
+        else:
+            mods = tuple(int(q) for q in moduli)
+            scalar = False
+        if not mods:
+            raise ValueError("at least one modulus required")
+        for q in mods:
+            if not 3 <= q < FAST_MODULUS_LIMIT:
+                raise ValueError(
+                    f"modulus {q} outside the kernel range [3, 2**{FAST_MODULUS_BITS})"
+                )
+        self.moduli = mods
+        self.narrow = max(mods) < (1 << 31)
+
+        def col(vals):
+            arr = np.array(vals, dtype=np.uint64)
+            return np.uint64(vals[0]) if scalar else arr.reshape(-1, 1)
+
+        self.q = col(mods)
+        self.two_q = col([2 * q for q in mods])
+        # Barrett ratio for reducing any 64-bit value: floor(2**64 / q).
+        self.v64 = col([(1 << 64) // q for q in mods])
+        # 2**64 mod q and 2**32 mod q with their Shoup quotients, for
+        # folding the high product half / split accumulator halves.
+        self.r64 = col([(1 << 64) % q for q in mods])
+        self.r64_shoup = col([((((1 << 64) % q) << 64) // q) for q in mods])
+        self.r32 = col([(1 << 32) % q for q in mods])
+        self.r32_shoup = col([((((1 << 32) % q) << 64) // q) for q in mods])
+
+    # -- element-wise ring ops -------------------------------------------
+
+    @_wrapping
+    def add(self, a, b) -> np.ndarray:
+        return add_mod(a, b, self.q)
+
+    @_wrapping
+    def sub(self, a, b) -> np.ndarray:
+        return sub_mod(a, b, self.q)
+
+    @_wrapping
+    def neg(self, a) -> np.ndarray:
+        return neg_mod(a, self.q)
+
+    @_wrapping
+    def reduce64_lazy(self, x) -> np.ndarray:
+        """Any uint64 ``x`` to ``x mod q`` plus at most one ``q``."""
+        return x - mul_hi(x, self.v64) * self.q
+
+    @_wrapping
+    def reduce64(self, x) -> np.ndarray:
+        """Any uint64 ``x`` reduced canonically to ``[0, q)``."""
+        r = self.reduce64_lazy(x)
+        return np.where(r >= self.q, r - self.q, r)
+
+    @_wrapping
+    def mul(self, a, b) -> np.ndarray:
+        """Variable x variable modular product, exact for ``q < 2**62``.
+
+        The 128-bit product splits as ``hi * 2**64 + lo``; the high half
+        folds through the constant ``2**64 mod q`` (Shoup), the low half
+        through Barrett, and both lazy halves share one final reduction.
+        """
+        if self.narrow:
+            return (a * b) % self.q
+        hi, lo = mul_wide(a, b)
+        t = shoup_mul_lazy(hi, self.r64, self.r64_shoup, self.q)
+        u = self.reduce64_lazy(lo)
+        s = t + u  # < 4q < 2**64
+        s = np.where(s >= self.two_q, s - self.two_q, s)
+        return np.where(s >= self.q, s - self.q, s)
+
+    # -- constant-operand ops --------------------------------------------
+
+    def shoup(self, w) -> np.ndarray:
+        """Shoup quotients for per-row constants ``w`` (ints or array)."""
+        if isinstance(w, np.ndarray):
+            arr = w
+        else:
+            arr = np.array([int(x) for x in np.atleast_1d(w)], dtype=np.uint64)
+        if np.isscalar(self.q) or self.q.ndim == 0:
+            return shoup_precompute(arr if arr.ndim else int(arr), self.moduli[0])
+        return shoup_precompute(arr.reshape(-1, 1).astype(object), self.q.astype(object))
+
+    @_wrapping
+    def mul_const(self, a, w, w_shoup=None) -> np.ndarray:
+        """``a * w mod q`` with constant ``w`` (per-row in chain mode)."""
+        if w_shoup is None:
+            w_shoup = self.shoup(w)
+            if not (np.isscalar(self.q) or self.q.ndim == 0):
+                w = np.asarray(w, dtype=np.uint64).reshape(-1, 1)
+        return shoup_mul(a, w, w_shoup, self.q)
+
+    # -- wide accumulation -----------------------------------------------
+
+    @_wrapping
+    def sum_mod(self, terms: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Exact ``terms.sum(axis) mod q`` for terms below ``2**63``.
+
+        The matmul-style accumulation of BConv: each term splits into
+        32-bit halves whose per-half sums cannot overflow (up to ``2**32``
+        terms), and the two half-sums fold back together through the
+        constant ``2**32 mod q`` — hi/lo carry handling without any
+        per-limb Python loop or 128-bit accumulator.
+        """
+        if not (np.isscalar(self.q) or self.q.ndim == 0):
+            raise ValueError("sum_mod requires a scalar-mode kernel")
+        lo = (terms & _MASK32).sum(axis=axis, dtype=np.uint64)
+        hi = (terms >> _U32).sum(axis=axis, dtype=np.uint64)
+        s = shoup_mul_lazy(hi, self.r32, self.r32_shoup, self.q)
+        s = s + self.reduce64_lazy(lo)  # < 4q
+        s = np.where(s >= self.two_q, s - self.two_q, s)
+        return np.where(s >= self.q, s - self.q, s)
+
+
+@lru_cache(maxsize=256)
+def kernel_for(modulus: int) -> ModulusKernel:
+    """Process-wide scalar-kernel cache (one entry per modulus)."""
+    return ModulusKernel(modulus)

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.rns import kernels
+
 __all__ = [
     "mod_inverse",
     "mod_pow",
@@ -129,14 +131,19 @@ def mulmod(a, b, modulus: int):
     """Elementwise ``a * b mod modulus`` for ints or numpy arrays.
 
     For moduli below 2**31 the product of two residues fits in uint64 and
-    the fast numpy path is used; otherwise we fall back to Python object
-    arithmetic (exact, arbitrary precision).
+    the plain numpy path is used; moduli up to 2**62 route through the
+    emulated-128-bit kernel (:mod:`repro.rns.kernels`), also exact; only
+    wider moduli fall back to Python object arithmetic.
     """
     if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
         if modulus < (1 << 31):
             a64 = np.asarray(a, dtype=np.uint64)
             b64 = np.asarray(b, dtype=np.uint64)
             return (a64 * b64) % np.uint64(modulus)
+        if modulus < kernels.FAST_MODULUS_LIMIT:
+            return kernels.kernel_for(modulus).mul(
+                np.asarray(a, dtype=np.uint64), np.asarray(b, dtype=np.uint64)
+            )
         ao = np.asarray(a, dtype=object)
         bo = np.asarray(b, dtype=object)
         return (ao * bo) % modulus

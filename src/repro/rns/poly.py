@@ -6,6 +6,13 @@ row ``i`` — a *limb* — is the polynomial reduced mod ``q_i``.  Limbs are
 independent, so every ring operation is a batch of per-limb vector
 operations, exactly the parallelism an FHE accelerator's lanes exploit.
 
+All limb arithmetic dispatches through :mod:`repro.rns.kernels`, whose
+emulated 128-bit products keep the vectorized path exact for any
+modulus below ``2**62`` — SHARP's 36-bit primes (and the 62-bit
+bootstrapping scale) run natively, with no object-array fallback.
+Per-chain state (modulus columns, kernels, stacked NTT plans) is cached
+on the shared :class:`RingContext` so repeated ops rebuild nothing.
+
 Polynomials carry a representation flag: *coefficient* or *evaluation*
 (NTT-applied).  Element-wise ops work in either (both operands must
 match); ring multiplication requires the evaluation representation.
@@ -14,20 +21,25 @@ match); ring multiplication requires the evaluation representation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.ntt.reference import NttContext
+from repro.rns import kernels
 from repro.rns.modmath import mod_inverse
+
+if TYPE_CHECKING:  # deferred at runtime: repro.ntt.reference imports kernels
+    from repro.ntt.reference import NttChain, NttContext
 
 __all__ = ["RingContext", "RnsPolynomial"]
 
 
 class RingContext:
-    """Shared per-ring state: NTT plans and automorphism index maps.
+    """Shared per-ring state: NTT plans, kernels, and automorphism maps.
 
     One context serves every modulus chain over the same degree; NTT
-    plans and permutation tables are created lazily and cached.
+    plans, stacked chain transforms, modulus kernels, and permutation
+    tables are created lazily and cached.
     """
 
     def __init__(self, degree: int):
@@ -35,15 +47,44 @@ class RingContext:
             raise ValueError("degree must be a power of two >= 4")
         self.degree = degree
         self._ntt: dict[int, NttContext] = {}
+        self._chains: dict[tuple[int, ...], NttChain] = {}
+        self._kernels: dict[tuple[int, ...], kernels.ModulusKernel] = {}
         self._auto_eval: dict[int, np.ndarray] = {}
         self._auto_coeff: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def ntt(self, modulus: int) -> NttContext:
         plan = self._ntt.get(modulus)
         if plan is None:
+            from repro.ntt.reference import NttContext
+
             plan = NttContext(self.degree, modulus)
             self._ntt[modulus] = plan
         return plan
+
+    def chain(self, moduli: tuple[int, ...]) -> NttChain:
+        """Stacked NTT plans transforming a whole limb matrix at once."""
+        chain = self._chains.get(moduli)
+        if chain is None:
+            from repro.ntt.reference import NttChain
+
+            chain = NttChain([self.ntt(q) for q in moduli])
+            self._chains[moduli] = chain
+        return chain
+
+    def chain_kernel(self, moduli: tuple[int, ...]) -> kernels.ModulusKernel:
+        """Cached chain-mode modular kernel (constants as (L, 1) columns)."""
+        kern = self._kernels.get(moduli)
+        if kern is None:
+            kern = kernels.ModulusKernel(moduli)
+            self._kernels[moduli] = kern
+        return kern
+
+    def mod_column(self, moduli: tuple[int, ...]) -> np.ndarray:
+        """The cached ``(L, 1)`` uint64 modulus column of a chain.
+
+        Shared and read-only by convention — callers must not mutate it.
+        """
+        return self.chain_kernel(moduli).q
 
     def galois_element(self, rotation: int) -> int:
         """The ring automorphism exponent for a cyclic slot rotation.
@@ -156,20 +197,14 @@ class RnsPolynomial:
     def to_ntt(self) -> "RnsPolynomial":
         if self.ntt_form:
             return self
-        rows = [
-            self.ring.ntt(q).forward(self.limbs[i])
-            for i, q in enumerate(self.moduli)
-        ]
-        return RnsPolynomial(self.ring, self.moduli, np.stack(rows), True)
+        out = self.ring.chain(self.moduli).forward_all(self.limbs)
+        return RnsPolynomial(self.ring, self.moduli, out, True)
 
     def from_ntt(self) -> "RnsPolynomial":
         if not self.ntt_form:
             return self
-        rows = [
-            self.ring.ntt(q).inverse(self.limbs[i])
-            for i, q in enumerate(self.moduli)
-        ]
-        return RnsPolynomial(self.ring, self.moduli, np.stack(rows), False)
+        out = self.ring.chain(self.moduli).inverse_all(self.limbs)
+        return RnsPolynomial(self.ring, self.moduli, out, False)
 
     # -- arithmetic ------------------------------------------------------------
 
@@ -180,29 +215,32 @@ class RnsPolynomial:
             raise ValueError("representations differ (coeff vs evaluation)")
 
     def _mods(self) -> np.ndarray:
-        return np.array(self.moduli, dtype=np.uint64).reshape(-1, 1)
+        return self.ring.mod_column(self.moduli)
+
+    def _kernel(self) -> kernels.ModulusKernel:
+        return self.ring.chain_kernel(self.moduli)
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        q = self._mods()
         return RnsPolynomial(
-            self.ring, self.moduli, (self.limbs + other.limbs) % q, self.ntt_form
+            self.ring,
+            self.moduli,
+            self._kernel().add(self.limbs, other.limbs),
+            self.ntt_form,
         )
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        q = self._mods()
         return RnsPolynomial(
             self.ring,
             self.moduli,
-            (self.limbs + q - other.limbs) % q,
+            self._kernel().sub(self.limbs, other.limbs),
             self.ntt_form,
         )
 
     def __neg__(self) -> "RnsPolynomial":
-        q = self._mods()
         return RnsPolynomial(
-            self.ring, self.moduli, (q - self.limbs) % q, self.ntt_form
+            self.ring, self.moduli, self._kernel().neg(self.limbs), self.ntt_form
         )
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -210,21 +248,25 @@ class RnsPolynomial:
         self._check_compatible(other)
         if not self.ntt_form:
             raise ValueError("ring multiplication requires evaluation form")
-        q = self._mods()
         return RnsPolynomial(
-            self.ring, self.moduli, self.limbs * other.limbs % q, True
+            self.ring, self.moduli, self._kernel().mul(self.limbs, other.limbs), True
         )
 
     def scalar_mul(self, scalars) -> "RnsPolynomial":
-        """Multiply limb ``i`` by ``scalars[i]`` (or one shared scalar)."""
+        """Multiply limb ``i`` by ``scalars[i]`` (or one shared scalar).
+
+        Scalars are per-limb constants, so the product uses Shoup's
+        precomputed-quotient multiplication (exact for q < 2**62).
+        """
         if np.isscalar(scalars):
             svec = [int(scalars) % q for q in self.moduli]
         else:
             svec = [int(s) % q for s, q in zip(scalars, self.moduli)]
-        s = np.array(svec, dtype=np.uint64).reshape(-1, 1)
-        q = self._mods()
         return RnsPolynomial(
-            self.ring, self.moduli, self.limbs * s % q, self.ntt_form
+            self.ring,
+            self.moduli,
+            self._kernel().mul_const(self.limbs, svec),
+            self.ntt_form,
         )
 
     # -- chain surgery -----------------------------------------------------------
@@ -261,9 +303,8 @@ class RnsPolynomial:
                 self.ring, self.moduli, self.limbs[:, perm].copy(), True
             )
         dest, negate = self.ring.automorphism_coeff_maps(galois)
-        q = self._mods()
         out = np.zeros_like(self.limbs)
-        vals = np.where(negate, (q - self.limbs) % q, self.limbs)
+        vals = np.where(negate, self._kernel().neg(self.limbs), self.limbs)
         out[:, dest] = vals
         return RnsPolynomial(self.ring, self.moduli, out, False)
 

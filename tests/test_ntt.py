@@ -92,9 +92,18 @@ class TestReferenceNtt:
         rhs = (ctx.forward(a) + ctx.forward(b)) % q
         assert np.array_equal(lhs, rhs)
 
-    def test_rejects_large_modulus(self):
+    def test_rejects_modulus_beyond_fast_path(self):
+        # 2^62 + 2^8 + 1 is = 1 mod 32, so only the width check can reject it.
         with pytest.raises(ValueError):
-            NttContext(16, (1 << 32) + 15)
+            NttContext(16, (1 << 62) + (1 << 8) + 1)
+
+    def test_accepts_wide_modulus_below_limit(self):
+        # A 34-bit NTT prime: above the historical 2^31 cap, inside the
+        # kernel fast path.
+        q = 8589934721  # = 1 mod 32, prime
+        ctx = NttContext(16, q)
+        a = np.arange(16, dtype=np.uint64)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
 
     @given(st.integers(min_value=0, max_value=15))
     @settings(max_examples=16, deadline=None)
