@@ -15,8 +15,6 @@ Paper anchors:
 from conftest import print_table
 
 from repro.core.alu_model import (
-    alu_area,
-    alu_power,
     area_ratio_64_to_28,
     power_ratio_64_to_28,
     scaling_table,

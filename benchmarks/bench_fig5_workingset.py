@@ -8,7 +8,7 @@ RF_main (observation (11)).
 
 from conftest import print_table
 
-from repro.analysis.workingset import fig5_data, hmult_breakdown, working_set_curve
+from repro.analysis.workingset import fig5_data, working_set_curve
 
 
 def test_fig5a_complexity_breakdown(benchmark, sharp_setting):

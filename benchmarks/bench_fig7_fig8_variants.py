@@ -22,7 +22,7 @@ from repro.core.config import (
     sharp_config,
 )
 from repro.hw.sim import Simulator
-from repro.workloads.traces import bootstrap_trace, evaluation_traces, helr_trace
+from repro.workloads.traces import evaluation_traces
 
 WORKLOADS = ("bootstrap", "helr256", "helr1024", "resnet20", "sorting")
 

@@ -220,6 +220,18 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # Timing a kernel whose lazy-reduction invariants don't hold would
+    # be timing wrong answers; prove the uint64 bounds first.
+    from repro.check.bounds import certify_word_bits
+
+    certificate = certify_word_bits(WORD_BITS)
+    if not certificate.ok:
+        for chain, step in certificate.failures():
+            print(f"BOUND FAIL {chain}: {step.label} -> {step.magnitude}")
+        return 1
+    print(f"kernel bound certificate: word_bits={WORD_BITS} proved "
+          f"({len(certificate.proofs)} chains)")
+
     if args.quick:
         n, reps, degree = 1 << 10, 1, 1 << 10
         limbs, src_l, dst_l = 4, 4, 3

@@ -20,5 +20,14 @@ def print_table(title, header, rows):
 
 @pytest.fixture(scope="session")
 def sharp_setting():
+    from repro.check import verify_trace
     from repro.params.presets import build_sharp_setting
-    return build_sharp_setting(36)
+    from repro.workloads.traces import evaluation_traces
+
+    setting = build_sharp_setting(36)
+    # Gate every benchmark session on statically-verified workloads:
+    # numbers produced from a malformed trace are worse than no numbers.
+    for name, trace in evaluation_traces(setting).items():
+        report = verify_trace(trace, setting)
+        assert report.ok, f"shipped trace {name!r} failed verification:\n{report.render()}"
+    return setting

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.opcount import PrimitiveCosts, hmult_counts
+from repro.core.opcount import hmult_counts
 from repro.params.presets import WordLengthSetting
 
 __all__ = [

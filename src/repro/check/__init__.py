@@ -1,0 +1,62 @@
+"""Static analysis for the FHE stack (``python -m repro.check``).
+
+Three passes, none of which execute any encryption:
+
+* :mod:`repro.check.trace_check` — SSA well-formedness, modulus-chain
+  bookkeeping and rescale legality over HE-op traces, plus structural
+  and replay verification of recorded schedule logs;
+* :mod:`repro.check.ckks_check` — abstract ``(level, scale)``
+  interpretation of evaluator call sequences;
+* :mod:`repro.check.bounds` — exact worst-case magnitude proofs for
+  the lazy-reduction kernel and butterfly chains.
+
+:mod:`repro.check.mutations` keeps the verifier honest: a corpus of
+seeded violations that must all be caught.
+"""
+
+from repro.check.bounds import (
+    BoundCertificate,
+    BoundProof,
+    BoundStep,
+    certify_report,
+    certify_word_bits,
+    max_safe_word_bits,
+)
+from repro.check.ckks_check import (
+    AbstractCiphertext,
+    AbstractParams,
+    SymbolicEvaluator,
+    check_program,
+)
+from repro.check.diagnostics import CheckReport, Diagnostic, Severity
+from repro.check.mutations import MutationCase, MutationResult, build_corpus, run_corpus
+from repro.check.trace_check import (
+    ChainRegion,
+    chain_regions,
+    verify_schedule,
+    verify_trace,
+)
+
+__all__ = [
+    "BoundCertificate",
+    "BoundProof",
+    "BoundStep",
+    "certify_report",
+    "certify_word_bits",
+    "max_safe_word_bits",
+    "AbstractCiphertext",
+    "AbstractParams",
+    "SymbolicEvaluator",
+    "check_program",
+    "CheckReport",
+    "Diagnostic",
+    "Severity",
+    "MutationCase",
+    "MutationResult",
+    "build_corpus",
+    "run_corpus",
+    "ChainRegion",
+    "chain_regions",
+    "verify_schedule",
+    "verify_trace",
+]

@@ -1,0 +1,315 @@
+"""Kernel bound prover: worst-case uint64 magnitudes, proved exactly.
+
+The wide-modulus kernels (:mod:`repro.rns.kernels`) and the lazy NTT
+butterflies (:mod:`repro.ntt.reference`) rely on Harvey/Barrett/Shoup
+lazy-reduction invariants: intermediates are allowed to grow past one
+``q`` as long as every partial sum stays below ``2**64``.  This module
+re-derives those invariants *symbolically* — exact Python integers, no
+numpy, no sampling — for the worst admissible residues at a given
+``word_bits``, and emits a :class:`BoundCertificate` listing each
+intermediate of each arithmetic chain with the limit it must satisfy.
+
+A chain *proves* when every step's worst-case magnitude respects its
+limit; the certificate fails loudly the moment a single lazy value
+would wrap.  ``certify_word_bits(62)`` passes with single-digit-bit
+headroom (``4q - 1 = 2**64 - 5``); 63-bit words wrap in both the
+butterfly and the variable-product chain, which is exactly why
+``kernels.FAST_MODULUS_BITS`` is 62 — and
+:func:`max_safe_word_bits` re-derives that constant independently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.check.diagnostics import CheckReport
+from repro.rns import kernels
+
+__all__ = [
+    "BoundStep",
+    "BoundProof",
+    "BoundCertificate",
+    "certify_report",
+    "prove_mul_hi",
+    "prove_forward_butterfly",
+    "prove_inverse_butterfly",
+    "prove_barrett_reduction",
+    "prove_variable_product",
+    "prove_bconv_accumulator",
+    "prove_ds_reconstruction",
+    "certify_word_bits",
+    "max_safe_word_bits",
+]
+
+U64_MAX = 2**64 - 1
+U63_MAX = 2**63 - 1
+
+# BConv accumulates one Shoup product per source limb; the largest
+# basis in play is Q + P of the deepest Set_k chain (L = 35, K = 12).
+# Prove with generous slack so deeper future chains stay covered.
+DEFAULT_BCONV_TERMS = 128
+
+
+@dataclass(frozen=True)
+class BoundStep:
+    """One intermediate value of an arithmetic chain."""
+
+    label: str
+    magnitude: int  # proven worst-case value (exact)
+    limit: int  # bound it must satisfy to stay exact
+
+    @property
+    def ok(self) -> bool:
+        return self.magnitude <= self.limit
+
+    @property
+    def headroom_bits(self) -> float:
+        """log2(limit / magnitude); negative when the step overflows."""
+        if self.magnitude <= 0:
+            return float("inf")
+        return math.log2(self.limit) - math.log2(self.magnitude)
+
+
+@dataclass(frozen=True)
+class BoundProof:
+    """Worst-case walk of one kernel chain at a given modulus bound."""
+
+    chain: str
+    q_max: int
+    steps: tuple[BoundStep, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(step.ok for step in self.steps)
+
+    def failures(self) -> tuple[BoundStep, ...]:
+        return tuple(step for step in self.steps if not step.ok)
+
+
+@dataclass(frozen=True)
+class BoundCertificate:
+    """All chain proofs for one ``word_bits`` configuration."""
+
+    word_bits: int
+    q_max: int
+    proofs: tuple[BoundProof, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(proof.ok for proof in self.proofs)
+
+    def failures(self) -> tuple[tuple[str, BoundStep], ...]:
+        return tuple(
+            (proof.chain, step)
+            for proof in self.proofs
+            for step in proof.failures()
+        )
+
+    def proof(self, chain: str) -> BoundProof:
+        for candidate in self.proofs:
+            if candidate.chain == chain:
+                return candidate
+        raise KeyError(chain)
+
+
+def prove_mul_hi(q_max: int) -> BoundProof:
+    """The 32-bit half-word decomposition of ``mul_hi`` / ``mul_wide``.
+
+    Every partial term is monotone in both operands, so evaluating the
+    exact formula at ``a = b = 2**64 - 1`` bounds all inputs; the proof
+    then checks each partial sum against ``2**64``.
+    """
+    a = b = U64_MAX
+    mask = (1 << 32) - 1
+    a_lo, a_hi = a & mask, a >> 32
+    b_lo, b_hi = b & mask, b >> 32
+    ll = a_lo * b_lo
+    lh = a_lo * b_hi
+    hl = a_hi * b_lo
+    mid = (ll >> 32) + (lh & mask) + (hl & mask)
+    hi = a_hi * b_hi + (lh >> 32) + (hl >> 32) + (mid >> 32)
+    steps = (
+        BoundStep("ll = a_lo * b_lo", ll, U64_MAX),
+        BoundStep("mid = (ll >> 32) + lh_lo + hl_lo", mid, U64_MAX),
+        BoundStep("hi = a_hi*b_hi + lh_hi + hl_hi + carry", hi, U64_MAX),
+    )
+    return BoundProof("mul_hi", q_max, steps)
+
+
+def prove_forward_butterfly(q_max: int) -> BoundProof:
+    """Harvey CT butterfly (``_forward_core_lazy``): loop invariant < 4q.
+
+    Per stage: ``u`` is conditionally corrected into ``[0, 2q)``, ``v``
+    is a lazy Shoup product in ``[0, 2q)`` (valid for ``q < 2**63``),
+    and the two outputs ``u + v`` / ``u + 2q - v`` must stay uint64.
+    """
+    q = q_max
+    u = 2 * q - 1  # after the conditional correction
+    v = 2 * q - 1  # lazy Shoup product
+    steps = (
+        BoundStep("Shoup lazy precondition: q < 2**63", q, U63_MAX),
+        BoundStep("u (conditionally corrected)", u, U64_MAX),
+        BoundStep("v = shoup_mul_lazy(...)", v, U64_MAX),
+        BoundStep("u + v", u + v, U64_MAX),
+        BoundStep("u + 2q - v (v = 0 worst case)", u + 2 * q, U64_MAX),
+    )
+    return BoundProof("ntt_forward_butterfly", q_max, steps)
+
+
+def prove_inverse_butterfly(q_max: int) -> BoundProof:
+    """Gentleman-Sande butterfly (``_inverse_core_lazy``): inputs < 2q."""
+    q = q_max
+    u = 2 * q - 1
+    v = 2 * q - 1
+    steps = (
+        BoundStep("Shoup lazy precondition: q < 2**63", q, U63_MAX),
+        BoundStep("total = u + v", u + v, U64_MAX),
+        BoundStep("diff = u + 2q - v (v = 0 worst case)", u + 2 * q, U64_MAX),
+        BoundStep("output = shoup_mul_lazy(diff) < 2q", 2 * q - 1, U64_MAX),
+    )
+    return BoundProof("ntt_inverse_butterfly", q_max, steps)
+
+
+def prove_barrett_reduction(q_max: int) -> BoundProof:
+    """``reduce64_lazy``: ``x - mul_hi(x, v64) * q`` lands in ``[0, 2q)``.
+
+    With ``v = floor(2**64 / q)`` the quotient estimate is off by at
+    most one, so the lazy remainder is below ``2q``; that slack only
+    stays collapsible by one conditional subtraction when ``2q`` itself
+    fits, i.e. ``q < 2**63``.
+    """
+    q = q_max
+    steps = (
+        BoundStep("Barrett lazy precondition: q < 2**63", q, U63_MAX),
+        BoundStep("lazy remainder < 2q", 2 * q - 1, U64_MAX),
+    )
+    return BoundProof("barrett_reduce64", q_max, steps)
+
+
+def prove_variable_product(q_max: int) -> BoundProof:
+    """``ModulusKernel.mul``: the variable x variable product chain.
+
+    ``hi`` folds through ``2**64 mod q`` as a lazy Shoup product
+    (< 2q), ``lo`` through lazy Barrett (< 2q); their sum must fit
+    uint64 *before* the two conditional subtractions — the binding
+    constraint that caps the fast path at ``q < 2**62``.
+    """
+    q = q_max
+    t = 2 * q - 1
+    u = 2 * q - 1
+    steps = (
+        BoundStep("Shoup lazy precondition: q < 2**63", q, U63_MAX),
+        BoundStep("t = shoup_mul_lazy(hi, 2**64 mod q)", t, U64_MAX),
+        BoundStep("u = reduce64_lazy(lo)", u, U64_MAX),
+        BoundStep("s = t + u", t + u, U64_MAX),
+    )
+    return BoundProof("kernel_variable_mul", q_max, steps)
+
+
+def prove_bconv_accumulator(
+    q_max: int, terms: int = DEFAULT_BCONV_TERMS
+) -> BoundProof:
+    """``ModulusKernel.sum_mod``: the BConv matmul-style accumulation.
+
+    Terms are canonical residues (< q); each splits into 32-bit halves
+    whose per-half sums across ``terms`` addends must not overflow,
+    and the folded halves repeat the t + u < 2**64 pattern.
+    """
+    q = q_max
+    term = q - 1  # canonical residue inputs
+    mask = (1 << 32) - 1
+    lo_sum = (term & mask) * terms
+    hi_sum = (term >> 32) * terms
+    s = (2 * q - 1) + (2 * q - 1)
+    steps = (
+        BoundStep("terms below 2**63 precondition", term, U63_MAX),
+        BoundStep(f"lo half-sum of {terms} terms", lo_sum, U64_MAX),
+        BoundStep(f"hi half-sum of {terms} terms", hi_sum, U64_MAX),
+        BoundStep("s = shoup_mul_lazy(hi) + reduce64_lazy(lo)", s, U64_MAX),
+    )
+    return BoundProof("bconv_sum_mod", q_max, steps)
+
+
+def prove_ds_reconstruction(pair_product_max: int) -> BoundProof:
+    """Garner CRT over a DS prime pair (``_centered_crt_pair``).
+
+    The reconstructed coefficient reaches ``q_a * q_b - 1`` and the
+    intermediate ``a + q_a * t`` equals it, so the pair product must
+    fit uint64; the centering comparison additionally wants it signed-
+    representable, i.e. below ``2**63``.
+    """
+    x = pair_product_max - 1
+    steps = (
+        BoundStep("x = a + q_a * t < q_a * q_b", x, U64_MAX),
+        BoundStep("centered comparison: q_a * q_b <= 2**63", pair_product_max, 1 << 63),
+    )
+    return BoundProof("ds_reconstruction", pair_product_max, steps)
+
+
+def _boot_pair_product_bits(word_bits: int) -> int:
+    """Worst-case DS pair product (bits) a ``word_bits`` chain forms.
+
+    DS pairs realize the bootstrapping scale with two primes of about
+    half its width each; the pair product therefore tracks the boot
+    scale (2**62 for wide words, reduced for words below 33 bits), not
+    the word length.  One extra bit covers primes sitting just above
+    the half-scale target.
+    """
+    from repro.params.presets import _boot_plan
+
+    boot_scale, _depth = _boot_plan(word_bits)
+    return int(boot_scale) + 1
+
+
+def certify_word_bits(
+    word_bits: int, bconv_terms: int = DEFAULT_BCONV_TERMS
+) -> BoundCertificate:
+    """Prove (or refute) uint64 safety of every kernel chain.
+
+    ``q_max = 2**word_bits - 1`` bounds every prime a ``word_bits``
+    machine word can host; each chain is walked at that worst case.
+    """
+    if word_bits < 3:
+        raise ValueError("word_bits must be at least 3")
+    q_max = (1 << word_bits) - 1
+    proofs = (
+        prove_mul_hi(q_max),
+        prove_forward_butterfly(q_max),
+        prove_inverse_butterfly(q_max),
+        prove_barrett_reduction(q_max),
+        prove_variable_product(q_max),
+        prove_bconv_accumulator(q_max, terms=bconv_terms),
+        prove_ds_reconstruction(1 << _boot_pair_product_bits(word_bits)),
+    )
+    return BoundCertificate(word_bits=word_bits, q_max=q_max, proofs=proofs)
+
+
+def certify_report(
+    word_bits: int, bconv_terms: int = DEFAULT_BCONV_TERMS
+) -> CheckReport:
+    """Certificate rendered as a :class:`CheckReport` (KB-* codes)."""
+    certificate = certify_word_bits(word_bits, bconv_terms=bconv_terms)
+    report = CheckReport("bounds", f"word_bits={word_bits}")
+    for chain, step in certificate.failures():
+        report.error(
+            "KB-OVERFLOW",
+            f"{chain}: {step.label} reaches {step.magnitude} "
+            f"(limit {step.limit}) at q_max = 2**{word_bits} - 1",
+        )
+    return report
+
+
+def max_safe_word_bits(limit: int = 64) -> int:
+    """Largest ``word_bits`` whose certificate proves — derived, not
+    asserted.  Must (and does) agree with ``kernels.FAST_MODULUS_BITS``."""
+    best = 0
+    for bits in range(3, limit + 1):
+        if certify_word_bits(bits).ok:
+            best = bits
+    return best
+
+
+def check_kernel_consistency() -> bool:
+    """The shipped fast-path constant matches the derived safe bound."""
+    return max_safe_word_bits() == kernels.FAST_MODULUS_BITS

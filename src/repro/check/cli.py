@@ -1,0 +1,189 @@
+"""``python -m repro.check`` — the static verification gate.
+
+Runs all three passes without executing any encryption:
+
+1. **bounds** — kernel bound certificates for the word-length presets
+   (must prove) and a synthetic over-wide configuration (must refute),
+   plus the consistency check that the derived safe bound equals the
+   shipped ``kernels.FAST_MODULUS_BITS``;
+2. **traces** — every shipped workload trace, in plain, explicit-
+   rescale, and fused form, through the SSA/chain verifier; each is
+   then scheduled at the SHARP scratchpad capacity and its recorded
+   schedule log verified (structure + deterministic replay);
+3. **ckks** — a representative evaluator program over the abstract
+   (level, scale) domain of a functional parameter set;
+4. **mutations** — the seeded corpus of known-bad artifacts, all of
+   which must be caught.
+
+Exit status 0 means every gate passed; any accepted mutant, failed
+proof, or dirty trace is a non-zero exit, which is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.check.bounds import certify_word_bits, max_safe_word_bits
+from repro.check.ckks_check import AbstractParams, SymbolicEvaluator, check_program
+from repro.check.diagnostics import CheckReport
+from repro.check.mutations import run_corpus
+from repro.check.trace_check import verify_schedule, verify_trace
+from repro.rns import kernels
+
+__all__ = ["main"]
+
+PROVE_BITS = (28, 36, 50, 62)
+REJECT_BITS = (63,)
+
+
+def _demo_program(ev: SymbolicEvaluator) -> None:
+    """A clean multiply/rotate/accumulate chain down the whole budget."""
+    ct = ev.fresh()
+    acc = ev.rotate(ct, 1)
+    acc = ev.add(acc, ct)
+    while acc.level > 1:
+        acc = ev.multiply(acc, ev.fresh(level=acc.level), rescale=True)
+    ev.multiply_scalar(acc, rescale=True)
+
+
+def _report_lines(report: CheckReport, verbose: bool) -> list[str]:
+    if verbose or not report.ok or report.warnings:
+        return [report.render()]
+    return [f"[{report.pass_name}] {report.subject}: OK"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Static verification: traces, schedules, CKKS discipline, "
+        "kernel overflow bounds.",
+    )
+    parser.add_argument(
+        "--setting-bits",
+        type=int,
+        default=36,
+        help="word length of the Set_k chain traces are built at (default 36)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="belady",
+        help="eviction policy for the schedule verification (default belady)",
+    )
+    parser.add_argument(
+        "--skip-mutations",
+        action="store_true",
+        help="skip the seeded-mutation corpus (faster local runs)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true", help="print every diagnostic"
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    failures = 0
+    lines: list[str] = []
+
+    # -- pass 1: kernel bound prover ---------------------------------------
+    for bits in PROVE_BITS:
+        certificate = certify_word_bits(bits)
+        status = "proved" if certificate.ok else "FAILED TO PROVE"
+        lines.append(f"[bounds] word_bits={bits}: {status}")
+        if not certificate.ok:
+            failures += 1
+            for chain, step in certificate.failures():
+                lines.append(f"  {chain}: {step.label} -> {step.magnitude}")
+    for bits in REJECT_BITS:
+        certificate = certify_word_bits(bits)
+        if certificate.ok:
+            failures += 1
+            lines.append(
+                f"[bounds] word_bits={bits}: PROVED BUT MUST WRAP — "
+                "the prover lost its teeth"
+            )
+        else:
+            lines.append(f"[bounds] word_bits={bits}: rejected (as it must be)")
+    derived = max_safe_word_bits()
+    if derived != kernels.FAST_MODULUS_BITS:
+        failures += 1
+        lines.append(
+            f"[bounds] derived safe bound {derived} != shipped "
+            f"FAST_MODULUS_BITS {kernels.FAST_MODULUS_BITS}"
+        )
+    else:
+        lines.append(
+            f"[bounds] derived safe word length = {derived} bits "
+            "(matches kernels.FAST_MODULUS_BITS)"
+        )
+
+    # -- pass 2: shipped traces + schedules --------------------------------
+    # Imported lazily: building the Set_k chain costs a prime search.
+    from repro.core.config import sharp_config
+    from repro.params.presets import build_sharp_setting
+    from repro.sched.fusion import fuse_trace
+    from repro.sched.trace import schedule_trace
+    from repro.workloads.traces import evaluation_traces
+
+    setting = build_sharp_setting(args.setting_bits)
+    capacity = sharp_config().onchip_capacity_bytes
+
+    for variant, traces in (
+        ("", evaluation_traces(setting)),
+        ("+rescale", evaluation_traces(setting, explicit_rescale=True)),
+    ):
+        for name, trace in traces.items():
+            report = verify_trace(trace, setting)
+            report.subject = f"{name}{variant}"
+            lines.extend(_report_lines(report, args.verbose))
+            failures += 0 if report.ok else 1
+            if variant:
+                fused, _ = fuse_trace(trace)
+                fused_report = verify_trace(fused, setting)
+                fused_report.subject = f"{name}{variant}+fused"
+                lines.extend(_report_lines(fused_report, args.verbose))
+                failures += 0 if fused_report.ok else 1
+
+    for name, trace in evaluation_traces(setting).items():
+        sched = schedule_trace(trace, setting, capacity, policy=args.policy)
+        report = verify_schedule(sched, setting)
+        report.subject = f"{name}@{args.policy}"
+        lines.extend(_report_lines(report, args.verbose))
+        failures += 0 if report.ok else 1
+
+    # -- pass 3: CKKS program discipline -----------------------------------
+    abstract = AbstractParams.synthetic(depth=8, scale_bits=35.0, base_bits=42.0)
+    report = check_program(_demo_program, abstract, "demo-chain")
+    lines.extend(_report_lines(report, args.verbose))
+    failures += 0 if report.ok else 1
+
+    # -- pass 4: seeded mutations ------------------------------------------
+    if not args.skip_mutations:
+        results = run_corpus(setting)
+        caught = sum(1 for r in results if r.caught)
+        lines.append(f"[mutations] {caught}/{len(results)} injected violations caught")
+        for result in results:
+            if not result.caught:
+                failures += 1
+                lines.append(
+                    f"  MISSED {result.case.name} ({result.case.kind}): "
+                    f"expected {result.case.expect_codes}, saw "
+                    f"{sorted(result.report.codes()) or 'nothing'}"
+                )
+            elif args.verbose:
+                fired = sorted(
+                    result.report.error_codes() & set(result.case.expect_codes)
+                )
+                lines.append(f"  caught {result.case.name}: {fired}")
+
+    elapsed = time.perf_counter() - started
+    for line in lines:
+        print(line)
+    verdict = "PASS" if failures == 0 else f"FAIL ({failures} gate(s))"
+    print(f"\nrepro.check: {verdict} in {elapsed:.1f}s")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,376 @@
+"""Seeded-mutation corpus: every injected violation must be caught.
+
+A verifier that accepts everything is worthless, so :mod:`repro.check`
+ships its own adversarial test load: a corpus of known-bad artifacts,
+each derived from a *clean* shipped workload trace (or schedule, or
+program, or kernel configuration) by one surgical mutation, paired
+with the diagnostic codes the verifier must raise.  The CLI and the
+test suite both demand a 100% detection rate — any silently accepted
+mutant is a regression in the verifier itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.check.bounds import certify_report
+from repro.check.ckks_check import AbstractParams, SymbolicEvaluator, check_program
+from repro.check.diagnostics import CheckReport
+from repro.check.trace_check import verify_schedule, verify_trace
+from repro.hw.isa import HeOp, OpKind, Trace
+from repro.params.presets import WordLengthSetting
+from repro.sched.events import ScheduleEvent, ScheduleLog
+from repro.sched.trace import ScheduledTrace, schedule_trace
+from repro.workloads.traces import helr_trace
+
+__all__ = ["MutationCase", "MutationResult", "build_corpus", "run_corpus"]
+
+
+@dataclass(frozen=True)
+class MutationCase:
+    """One known-bad artifact and the codes that must flag it."""
+
+    name: str
+    kind: str  # "ssa" | "level" | "schedule" | "ckks" | "bounds"
+    run: Callable[[], CheckReport]
+    expect_codes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    case: MutationCase
+    report: CheckReport
+    caught: bool
+
+
+def _mutant(base: Trace, name: str, ops: list[HeOp]) -> Trace:
+    return Trace(name=f"{base.name}:{name}", ops=ops)
+
+
+def _def_limbs(ops: list[HeOp], value: str) -> int:
+    for op in ops:
+        if op.dst == value:
+            return op.result_limbs
+    return ops[0].limbs  # external input
+
+
+def build_corpus(setting: WordLengthSetting) -> list[MutationCase]:
+    """Derive the corpus from a clean HELR trace at ``setting``.
+
+    Two training iterations deplete the level cursor, so the base
+    trace crosses a full bootstrap: it contains ``MOD_RAISE``, DS-wide
+    boot rescales and rotation-ladder fan-out — every region a
+    mutation needs to land in.
+    """
+    base = helr_trace(setting, 256, iterations=2)
+    clean = verify_trace(base, setting)
+    if not clean.ok:
+        raise RuntimeError(
+            "mutation corpus base trace fails verification:\n" + clean.render()
+        )
+    ops = base.ops
+    max_level = setting.max_level
+
+    def check(trace: Trace) -> Callable[[], CheckReport]:
+        return lambda: verify_trace(trace, setting)
+
+    cases: list[MutationCase] = []
+
+    # -- SSA violations -----------------------------------------------------
+    drop_at = next(
+        i
+        for i, op in enumerate(ops)
+        if i > 0 and any(op.dst in later.srcs for later in ops[i + 1 :])
+    )
+    cases.append(
+        MutationCase(
+            "dropped-def",
+            "ssa",
+            check(_mutant(base, "dropped-def", ops[:drop_at] + ops[drop_at + 1 :])),
+            ("TRC-UNDEF",),
+        )
+    )
+
+    cases.append(
+        MutationCase(
+            "double-def",
+            "ssa",
+            check(
+                _mutant(
+                    base,
+                    "double-def",
+                    [ops[0], replace(ops[1], dst=ops[0].dst), *ops[2:]],
+                )
+            ),
+            ("TRC-REDEF", "TRC-UNDEF"),
+        )
+    )
+
+    moved = ops[:drop_at] + ops[drop_at + 1 :] + [ops[drop_at]]
+    cases.append(
+        MutationCase(
+            "use-before-def",
+            "ssa",
+            check(_mutant(base, "use-before-def", moved)),
+            ("TRC-UNDEF",),
+        )
+    )
+
+    ghost = [*ops]
+    ghost[len(ghost) // 2] = replace(
+        ghost[len(ghost) // 2],
+        srcs=("ghost_value",) + ghost[len(ghost) // 2].srcs[1:],
+    )
+    cases.append(
+        MutationCase(
+            "dangling-src",
+            "ssa",
+            check(_mutant(base, "dangling-src", ghost)),
+            ("TRC-UNDEF",),
+        )
+    )
+
+    feeder = ops[-1].srcs[0]
+    dead = [
+        *ops[:-1],
+        HeOp(
+            OpKind.HADD,
+            _def_limbs(ops, feeder),
+            dst="dead_value",
+            srcs=(feeder,),
+        ),
+        ops[-1],
+    ]
+    cases.append(
+        MutationCase(
+            "dead-output",
+            "ssa",
+            check(_mutant(base, "dead-output", dead)),
+            ("TRC-DEAD",),
+        )
+    )
+
+    # -- level / chain violations -------------------------------------------
+    bump_at = next(
+        i
+        for i, op in enumerate(ops)
+        if i > 0
+        and op.limbs < max_level
+        and op.srcs
+        and all(_def_limbs(ops[:i], s) == op.limbs for s in op.srcs)
+    )
+    bumped = [*ops]
+    bumped[bump_at] = replace(bumped[bump_at], limbs=bumped[bump_at].limbs + 1)
+    cases.append(
+        MutationCase(
+            "swapped-level",
+            "level",
+            check(_mutant(base, "swapped-level", bumped)),
+            ("TRC-LEVEL-SRC", "TRC-RESCALE"),
+        )
+    )
+
+    ranged = [*ops]
+    ranged[2] = replace(ranged[2], limbs=max_level + 5)
+    cases.append(
+        MutationCase(
+            "level-out-of-range",
+            "level",
+            check(_mutant(base, "level-out-of-range", ranged)),
+            ("TRC-LEVEL-RANGE",),
+        )
+    )
+
+    rescale_at = next(i for i, op in enumerate(ops) if op.drop > 0)
+    sunk = [*ops]
+    sunk[rescale_at] = replace(sunk[rescale_at], drop=sunk[rescale_at].limbs)
+    cases.append(
+        MutationCase(
+            "below-base",
+            "level",
+            check(_mutant(base, "below-base", sunk)),
+            ("TRC-BASE", "TRC-RESCALE"),
+        )
+    )
+
+    wide = [*ops]
+    wide[rescale_at] = replace(wide[rescale_at], drop=wide[rescale_at].drop + 1)
+    cases.append(
+        MutationCase(
+            "rescale-width",
+            "level",
+            check(_mutant(base, "rescale-width", wide)),
+            ("TRC-RESCALE",),
+        )
+    )
+
+    boot_ppl = setting.group("boot").primes_per_level
+    if boot_ppl > 1:
+        ds_at = next(i for i, op in enumerate(ops) if op.drop == boot_ppl)
+        shifted = [*ops]
+        shifted[ds_at] = replace(shifted[ds_at], limbs=shifted[ds_at].limbs - 1)
+        cases.append(
+            MutationCase(
+                "misaligned-rescale",
+                "level",
+                check(_mutant(base, "misaligned-rescale", shifted)),
+                ("TRC-RESCALE",),
+            )
+        )
+
+    raise_at = next(
+        i for i, op in enumerate(ops) if op.kind is OpKind.MOD_RAISE
+    )
+    lowered = [*ops]
+    lowered[raise_at] = replace(lowered[raise_at], limbs=max_level - 1)
+    cases.append(
+        MutationCase(
+            "raise-not-top",
+            "level",
+            check(_mutant(base, "raise-not-top", lowered)),
+            ("TRC-RAISE", "TRC-LEVEL-SRC"),
+        )
+    )
+
+    # -- schedule violations ------------------------------------------------
+    capacity = setting.evk_bytes(prng=True) * 3.0
+    sched = schedule_trace(base, setting, capacity)
+
+    def forged(
+        log: ScheduleLog, name: str, expect: tuple[str, ...]
+    ) -> MutationCase:
+        fake = ScheduledTrace(trace=sched.trace, liveness=sched.liveness, log=log)
+        return MutationCase(
+            name, "schedule", lambda: verify_schedule(fake, setting), expect
+        )
+
+    events = list(sched.log.events)
+    cases.append(
+        forged(
+            ScheduleLog(sched.log.policy, capacity / 8.0, events),
+            "shrunk-capacity",
+            ("SCH-OCCUPANCY", "SCH-REPLAY"),
+        )
+    )
+    cases.append(
+        forged(
+            ScheduleLog(sched.log.policy, capacity, events[:-1]),
+            "dropped-event",
+            ("SCH-COUNT",),
+        )
+    )
+    negative = [*events]
+    negative[3] = replace(negative[3], fetch_bytes=-1.0)
+    cases.append(
+        forged(
+            ScheduleLog(sched.log.policy, capacity, negative),
+            "negative-traffic",
+            ("SCH-NEG", "SCH-REPLAY"),
+        )
+    )
+    inflated = [*events]
+    inflated[5] = replace(inflated[5], occupancy_bytes=capacity * 10.0)
+    cases.append(
+        forged(
+            ScheduleLog(sched.log.policy, capacity, inflated),
+            "occupancy-tamper",
+            ("SCH-OCCUPANCY", "SCH-REPLAY"),
+        )
+    )
+    cases.append(
+        forged(
+            ScheduleLog("fifo", capacity, events),
+            "unknown-policy",
+            ("SCH-POLICY",),
+        )
+    )
+    other_kind = (
+        OpKind.CONJ if sched.trace.ops[4].kind is not OpKind.CONJ else OpKind.HADD
+    )
+    mixed = [*events]
+    mixed[4] = ScheduleEvent(
+        index=mixed[4].index,
+        kind=other_kind,
+        hits=mixed[4].hits,
+        misses=mixed[4].misses,
+        fetch_bytes=mixed[4].fetch_bytes,
+        writeback_bytes=mixed[4].writeback_bytes,
+        spill_bytes=mixed[4].spill_bytes,
+        evictions=mixed[4].evictions,
+        fetched=mixed[4].fetched,
+        occupancy_bytes=mixed[4].occupancy_bytes,
+        live_values=mixed[4].live_values,
+    )
+    cases.append(
+        forged(
+            ScheduleLog(sched.log.policy, capacity, mixed),
+            "kind-swap",
+            ("SCH-KIND", "SCH-REPLAY"),
+        )
+    )
+
+    # -- CKKS discipline violations -----------------------------------------
+    abstract = AbstractParams.synthetic(depth=4, scale_bits=35.0, base_bits=42.0)
+
+    def mismatch(ev: SymbolicEvaluator) -> None:
+        a = ev.fresh()
+        b = ev.fresh(scale=abstract.default_scale * 3.0)
+        ev.add(a, b)
+
+    def underflow(ev: SymbolicEvaluator) -> None:
+        ct = ev.fresh(level=0)
+        ev.rescale(ct)
+
+    def missing_rescale(ev: SymbolicEvaluator) -> None:
+        ct = ev.fresh()
+        for _ in range(3):
+            ct = ev.square(ct, rescale=False)
+
+    cases.append(
+        MutationCase(
+            "ckks-scale-mismatch",
+            "ckks",
+            lambda: check_program(mismatch, abstract, "scale-mismatch"),
+            ("CKKS-SCALE-MISMATCH",),
+        )
+    )
+    cases.append(
+        MutationCase(
+            "ckks-level-underflow",
+            "ckks",
+            lambda: check_program(underflow, abstract, "level-underflow"),
+            ("CKKS-LEVEL-UNDERFLOW",),
+        )
+    )
+    cases.append(
+        MutationCase(
+            "ckks-missing-rescale",
+            "ckks",
+            lambda: check_program(missing_rescale, abstract, "missing-rescale"),
+            ("CKKS-SCALE-OVERFLOW",),
+        )
+    )
+
+    # -- kernel bound violations --------------------------------------------
+    cases.append(
+        MutationCase(
+            "word-bits-63", "bounds", lambda: certify_report(63), ("KB-OVERFLOW",)
+        )
+    )
+    cases.append(
+        MutationCase(
+            "word-bits-64", "bounds", lambda: certify_report(64), ("KB-OVERFLOW",)
+        )
+    )
+    return cases
+
+
+def run_corpus(setting: WordLengthSetting) -> list[MutationResult]:
+    """Run every case; ``caught`` means an *expected* error code fired."""
+    results: list[MutationResult] = []
+    for case in build_corpus(setting):
+        report = case.run()
+        caught = bool(report.error_codes() & set(case.expect_codes))
+        results.append(MutationResult(case=case, report=report, caught=caught))
+    return results

@@ -13,7 +13,7 @@ short-word accelerator would (paper S3.1).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

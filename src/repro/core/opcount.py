@@ -21,7 +21,7 @@ implementation in :mod:`repro.ckks.bootstrap`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.alu_model import alu_area
 from repro.params.presets import WordLengthSetting

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import Iterable
 
 __all__ = ["OpKind", "HeOp", "Trace"]
 
@@ -75,7 +76,7 @@ class Trace:
     # (per effective level for bootstrap, per iteration for HELR).
     normalize: float = 1.0
 
-    def extend(self, ops) -> None:
+    def extend(self, ops: Iterable[HeOp]) -> None:
         self.ops.extend(ops)
 
     def op_count(self) -> float:

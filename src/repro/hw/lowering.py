@@ -12,7 +12,7 @@ throughputs (Table 4) convert them to cycles.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hw.isa import HeOp, OpKind
 from repro.params.presets import WordLengthSetting

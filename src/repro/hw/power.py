@@ -10,7 +10,6 @@ global calibration ties SHARP's simulated average power to the paper's
 from __future__ import annotations
 
 from repro.core.alu_model import alu_power
-from repro.core.config import AcceleratorConfig
 
 __all__ = [
     "mult_energy_j",

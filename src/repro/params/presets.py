@@ -33,7 +33,7 @@ levels at the *normal* scale.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.params.primes import (
     PrimeScarcityError,

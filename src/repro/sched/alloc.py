@@ -26,6 +26,9 @@ Every decision lands in a :class:`repro.sched.events.ScheduleLog`.
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass, field
+
 from repro.hw.isa import Trace
 from repro.params.presets import WordLengthSetting
 from repro.sched.events import ScheduleEvent, ScheduleLog
@@ -36,14 +39,33 @@ __all__ = ["ScratchpadAllocator", "POLICIES"]
 POLICIES = ("belady", "lru")
 
 
+@dataclass
+class _OpEvents:
+    """Mutable accumulator for one op's decisions (frozen into a
+    :class:`ScheduleEvent` when the op retires)."""
+
+    hits: int = 0
+    misses: int = 0
+    fetch_bytes: float = 0.0
+    writeback_bytes: float = 0.0
+    spill_bytes: float = 0.0
+    evictions: list[str] = field(default_factory=list)
+    fetched: list[str] = field(default_factory=list)
+
+
 class ScratchpadAllocator:
     """Walks an annotated trace, deciding residency op by op."""
 
-    def __init__(self, capacity_bytes: float, policy: str = "belady"):
+    def __init__(self, capacity_bytes: float, policy: str = "belady") -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown eviction policy {policy!r}; pick from {POLICIES}")
-        if capacity_bytes <= 0:
-            raise ValueError("scratchpad capacity must be positive")
+        # NaN slips through a plain `<= 0` comparison, so demand a
+        # finite positive capacity explicitly.
+        if not math.isfinite(capacity_bytes) or capacity_bytes <= 0:
+            raise ValueError(
+                f"scratchpad capacity must be a positive finite byte "
+                f"count, got {capacity_bytes!r}"
+            )
         self.capacity_bytes = float(capacity_bytes)
         self.policy = policy
 
@@ -72,16 +94,18 @@ class ScratchpadAllocator:
             clock += 1
             last_touch[value] = clock
 
-        def victim_order(value: str, index: int) -> tuple:
+        def victim_order(value: str, index: int) -> tuple[float, str]:
             if self.policy == "belady":
                 # Farthest future use goes first; dead-end values
                 # (inf) beat everything.  Ties break on the id so the
                 # schedule is deterministic.
                 return (live.range_of(value).next_use(index), value)
             # LRU: negate recency so max() selects the least recent.
-            return (-last_touch[value], value)
+            return (float(-last_touch[value]), value)
 
-        def evict_for(size: float, index: int, pinned: set, ev: dict) -> None:
+        def evict_for(
+            size: float, index: int, pinned: set[str], ev: _OpEvents
+        ) -> None:
             nonlocal occupancy
             while occupancy + size > self.capacity_bytes:
                 candidates = [v for v in resident if v not in pinned]
@@ -90,22 +114,24 @@ class ScratchpadAllocator:
                 victim = max(candidates, key=lambda v: victim_order(v, index))
                 vsize = resident.pop(victim)
                 occupancy -= vsize
-                ev["evictions"].append(victim)
+                ev.evictions.append(victim)
                 if victim in dirty and live.range_of(victim).next_use(index) != INFINITY:
                     dirty.discard(victim)
                     spilled.add(victim)
-                    ev["writeback_bytes"] += vsize
-                    ev["spill_bytes"] += vsize
+                    ev.writeback_bytes += vsize
+                    ev.spill_bytes += vsize
                 else:
                     dirty.discard(victim)
 
-        def bring_in(value: str, size: float, index: int, pinned: set, ev: dict) -> None:
+        def bring_in(
+            value: str, size: float, index: int, pinned: set[str], ev: _OpEvents
+        ) -> None:
             nonlocal occupancy
-            ev["misses"] += 1
-            ev["fetch_bytes"] += size
-            ev["fetched"].append(value)
+            ev.misses += 1
+            ev.fetch_bytes += size
+            ev.fetched.append(value)
             if value in spilled:
-                ev["spill_bytes"] += size  # re-fetch of spilled data
+                ev.spill_bytes += size  # re-fetch of spilled data
             if size > self.capacity_bytes:
                 streamed.add(value)  # stream through, never resident
                 return
@@ -114,47 +140,42 @@ class ScratchpadAllocator:
             occupancy += size
 
         for i, op in enumerate(trace.ops):
-            ev = {
-                "hits": 0,
-                "misses": 0,
-                "fetch_bytes": 0.0,
-                "writeback_bytes": 0.0,
-                "spill_bytes": 0.0,
-                "evictions": [],
-                "fetched": [],
-            }
+            dst = op.dst
+            if dst is None:  # pragma: no cover - liveness demands annotations
+                raise ValueError(f"op {i} of {trace.name!r} lacks a dst value")
+            ev = _OpEvents()
             needed = [(src, live.ranges[src].size_bytes) for src in dict.fromkeys(op.srcs)]
             if op.key_id is not None:
                 key = f"evk:{op.key_id}"
                 needed.append((key, live.evk_ranges[key].size_bytes))
-            pinned = {v for v, _ in needed} | {op.dst}
+            pinned = {v for v, _ in needed} | {dst}
 
             for value, size in needed:
                 touch(value)
                 if value in resident:
-                    ev["hits"] += 1
+                    ev.hits += 1
                 elif value in streamed:
-                    ev["misses"] += 1
-                    ev["fetch_bytes"] += size  # re-streamed every use
+                    ev.misses += 1
+                    ev.fetch_bytes += size  # re-streamed every use
                 else:
                     bring_in(value, size, i, pinned, ev)
 
             # Define the result on-chip (dirty until written back).
-            dsize = live.ranges[op.dst].size_bytes
-            touch(op.dst)
+            dsize = live.ranges[dst].size_bytes
+            touch(dst)
             if dsize > self.capacity_bytes:
-                streamed.add(op.dst)
-                ev["writeback_bytes"] += dsize  # can only live off-chip
-                ev["spill_bytes"] += dsize
-                spilled.add(op.dst)
+                streamed.add(dst)
+                ev.writeback_bytes += dsize  # can only live off-chip
+                ev.spill_bytes += dsize
+                spilled.add(dst)
             else:
                 evict_for(dsize, i, pinned, ev)
-                resident[op.dst] = dsize
+                resident[dst] = dsize
                 occupancy += dsize
-                dirty.add(op.dst)
+                dirty.add(dst)
 
             # Retire dead values: anything whose last use just passed.
-            for value in [*dict.fromkeys(op.srcs), op.dst]:
+            for value in [*dict.fromkeys(op.srcs), dst]:
                 r = live.ranges.get(value)
                 if r is not None and r.last_use <= i and value in resident:
                     occupancy -= resident.pop(value)
@@ -168,13 +189,13 @@ class ScratchpadAllocator:
                 ScheduleEvent(
                     index=i,
                     kind=op.kind,
-                    hits=ev["hits"],
-                    misses=ev["misses"],
-                    fetch_bytes=ev["fetch_bytes"],
-                    writeback_bytes=ev["writeback_bytes"],
-                    spill_bytes=ev["spill_bytes"],
-                    evictions=tuple(ev["evictions"]),
-                    fetched=tuple(ev["fetched"]),
+                    hits=ev.hits,
+                    misses=ev.misses,
+                    fetch_bytes=ev.fetch_bytes,
+                    writeback_bytes=ev.writeback_bytes,
+                    spill_bytes=ev.spill_bytes,
+                    evictions=tuple(ev.evictions),
+                    fetched=tuple(ev.fetched),
                     occupancy_bytes=occupancy,
                     live_values=len(resident),
                 )

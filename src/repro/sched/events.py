@@ -92,22 +92,29 @@ class ScheduleLog:
     def peak_occupancy_bytes(self) -> float:
         return max((e.occupancy_bytes for e in self.events), default=0.0)
 
-    def spill_by_kind(self) -> dict:
+    def spill_by_kind(self) -> dict[OpKind, float]:
         """Spill-byte attribution per op kind (who caused the traffic)."""
-        out: dict = {}
+        out: dict[OpKind, float] = {}
         for e in self.events:
             if e.spill_bytes:
                 out[e.kind] = out.get(e.kind, 0.0) + e.spill_bytes
         return out
 
-    def offchip_by_kind(self) -> dict:
-        out: dict = {}
+    def offchip_by_kind(self) -> dict[OpKind, float]:
+        out: dict[OpKind, float] = {}
         for e in self.events:
             if e.offchip_bytes:
                 out[e.kind] = out.get(e.kind, 0.0) + e.offchip_bytes
         return out
 
-    def signature(self) -> tuple:
+    def signature(
+        self,
+    ) -> tuple[
+        tuple[
+            int, str, int, int, float, float, tuple[str, ...], tuple[str, ...], float
+        ],
+        ...,
+    ]:
         """Hashable digest of every decision — for determinism checks."""
         return tuple(
             (

@@ -43,8 +43,8 @@ class FusionReport:
         return self.before_ops - self.after_ops
 
 
-def _use_counts(ops: list[HeOp]) -> dict:
-    counts: dict = {}
+def _use_counts(ops: list[HeOp]) -> dict[str, int]:
+    counts: dict[str, int] = {}
     for op in ops:
         for src in op.srcs:
             counts[src] = counts.get(src, 0) + 1

@@ -56,9 +56,9 @@ class Liveness:
     def __init__(
         self,
         trace: Trace,
-        ranges: dict,
-        evk_ranges: dict,
-    ):
+        ranges: dict[str, LiveRange],
+        evk_ranges: dict[str, LiveRange],
+    ) -> None:
         self.trace = trace
         self.ranges = ranges  # ciphertext values
         self.evk_ranges = evk_ranges  # evaluation keys (one per key_id)
@@ -73,7 +73,8 @@ class Liveness:
             delta_bytes[r.start] += r.size_bytes
             delta_count[r.last_use + 1] -= 1
             delta_bytes[r.last_use + 1] -= r.size_bytes
-        counts, sizes = [], []
+        counts: list[int] = []
+        sizes: list[float] = []
         c, b = 0, 0.0
         for i in range(n):
             c += delta_count[i]

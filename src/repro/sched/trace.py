@@ -9,11 +9,12 @@ of the legacy closed-form overflow model.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.hw.isa import HeOp, Trace
 from repro.params.presets import WordLengthSetting
-from repro.sched.alloc import ScratchpadAllocator
+from repro.sched.alloc import POLICIES, ScratchpadAllocator
 from repro.sched.events import ScheduleEvent, ScheduleLog
 from repro.sched.fusion import FusionReport, fuse_trace
 from repro.sched.liveness import Liveness, analyze_liveness
@@ -72,7 +73,20 @@ def schedule_trace(
     prng_evk: bool = True,
     fuse: bool = False,
 ) -> ScheduledTrace:
-    """Run the scheduling pipeline: (fusion) -> liveness -> allocation."""
+    """Run the scheduling pipeline: (fusion) -> liveness -> allocation.
+
+    Rejects non-positive / non-finite capacities and unknown policies
+    up front, before any fusion or liveness work runs.
+    """
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown eviction policy {policy!r}; pick from {POLICIES}"
+        )
+    if not math.isfinite(capacity_bytes) or capacity_bytes <= 0:
+        raise ValueError(
+            f"scratchpad capacity must be a positive finite byte count, "
+            f"got {capacity_bytes!r}"
+        )
     report = None
     if fuse:
         trace, report = fuse_trace(trace)

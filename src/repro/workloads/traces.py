@@ -129,8 +129,10 @@ def _bootstrap_ops(
         pm = EVALMOD_PMULTS / evalmod_levels
         for _ in range(evalmod_levels):
             drop = boot.primes_per_level
+            # The HMult carries the level's rescale; the PMults of the
+            # same EvalMod level then run on its already-rescaled output.
             emit(OpKind.HMULT, limbs, drop=drop, key_id="mult", count=hm)
-            emit(OpKind.PMULT, limbs, drop=drop, count=pm)
+            emit(OpKind.PMULT, limbs - drop, count=pm)
             limbs -= drop
 
     for stage in range(min(STC_STAGES, stc.levels)):
@@ -333,6 +335,11 @@ def sorting_trace(
     )
     stages = log_elems * (log_elems + 1) // 2
     for stage in range(stages):
+        # Reserve the stage's full depth (5 consumed levels + the
+        # accumulate) before rotating, so a bootstrap never fires while
+        # the rotated pair is still pending — the rotations and the
+        # comparator that combines them must share a chain segment.
+        b._ensure_levels(6)
         b.rotations(2, f"sort{stage % 16}")
         # Composite minimax sign: f3(g3(x)) style, ~8 squarings/mults.
         for _ in range(4):

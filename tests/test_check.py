@@ -1,0 +1,442 @@
+"""Tests for the repro.check static verification subsystem.
+
+Covers the kernel bound prover, the trace/schedule verifier over every
+shipped workload, the CKKS (level, scale) discipline checker, the
+seeded-mutation corpus (100% detection demanded), robustness of the
+scheduler entry points, and Hypothesis properties: well-formed random
+traces verify clean while randomly injected violations always flag.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import (
+    build_corpus,
+    certify_report,
+    certify_word_bits,
+    chain_regions,
+    check_program,
+    max_safe_word_bits,
+    run_corpus,
+    verify_schedule,
+    verify_trace,
+)
+from repro.check.bounds import prove_variable_product
+from repro.check.ckks_check import AbstractParams, SymbolicEvaluator
+from repro.check.diagnostics import CheckReport, Diagnostic, Severity
+from repro.hw.isa import HeOp, OpKind, Trace
+from repro.params.presets import build_sharp_setting
+from repro.rns import kernels
+from repro.sched import ScratchpadAllocator, fuse_trace, schedule_trace
+from repro.sched.events import ScheduleLog
+from repro.sched.trace import ScheduledTrace
+from repro.workloads.traces import evaluation_traces, helr_trace
+
+LIMBS = 8  # fixed limb count for hand-built SSA chains
+
+WORKLOADS = ("bootstrap", "helr256", "helr1024", "resnet20", "sorting")
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return build_sharp_setting(36)
+
+
+@pytest.fixture(scope="module")
+def scheduled_helr(setting):
+    """A scheduled HELR trace that crosses a bootstrap, at a capacity
+    tight enough that occupancy genuinely exceeds single-op working
+    sets (so capacity mutations below are always detectable)."""
+    trace = helr_trace(setting, 256, iterations=2)
+    capacity = setting.evk_bytes(prng=True) * 3.0
+    return schedule_trace(trace, setting, capacity)
+
+
+def chain_trace(n=6, kind=OpKind.PMULT, limbs=LIMBS):
+    """x0 -> t1 -> t2 -> ... (each op consumes the previous value)."""
+    ops, cur = [], "x0"
+    for i in range(n):
+        dst = f"t{i + 1}"
+        ops.append(HeOp(kind, limbs, dst=dst, srcs=(cur,)))
+        cur = dst
+    return Trace("chain", ops)
+
+
+# ---------------------------------------------------------------------------
+# Kernel bound prover
+# ---------------------------------------------------------------------------
+
+
+class TestBounds:
+    @pytest.mark.parametrize("bits", [28, 36, 50, 62])
+    def test_preset_word_lengths_prove(self, bits):
+        certificate = certify_word_bits(bits)
+        assert certificate.ok, certificate.failures()
+        assert certify_report(bits).ok
+
+    @pytest.mark.parametrize("bits", [63, 64])
+    def test_over_wide_words_are_refuted(self, bits):
+        certificate = certify_word_bits(bits)
+        assert not certificate.ok
+        assert certificate.failures()
+        report = certify_report(bits)
+        assert "KB-OVERFLOW" in report.error_codes()
+
+    def test_63_bits_fails_in_the_variable_product(self):
+        # The binding constraint: s = t + u = 4q - 2 wraps at 63 bits.
+        proof = prove_variable_product(2**63 - 1)
+        failed = [step.label for step in proof.failures()]
+        assert any("t + u" in label for label in failed)
+
+    def test_62_bits_has_slim_positive_headroom(self):
+        proof = prove_variable_product(2**62 - 1)
+        assert proof.ok
+        sum_step = next(s for s in proof.steps if "t + u" in s.label)
+        # 4q - 2 = 2**64 - 6: six ULPs of slack, i.e. < 1 bit.
+        assert sum_step.limit - sum_step.magnitude < 8
+        assert 0 <= sum_step.headroom_bits < 1.0
+
+    def test_derived_bound_matches_shipped_constant(self):
+        assert max_safe_word_bits() == kernels.FAST_MODULUS_BITS == 62
+
+    def test_tiny_word_bits_rejected(self):
+        with pytest.raises(ValueError):
+            certify_word_bits(2)
+
+
+# ---------------------------------------------------------------------------
+# Shipped traces and schedules (zero false positives)
+# ---------------------------------------------------------------------------
+
+
+class TestShippedTraces:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("explicit_rescale", [False, True])
+    def test_traces_verify_clean(self, setting, name, explicit_rescale):
+        trace = evaluation_traces(setting, explicit_rescale=explicit_rescale)[name]
+        report = verify_trace(trace, setting)
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_fused_traces_verify_clean(self, setting, name):
+        trace = evaluation_traces(setting, explicit_rescale=True)[name]
+        fused, _ = fuse_trace(trace)
+        report = verify_trace(fused, setting)
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("policy", ["belady", "lru"])
+    def test_schedules_verify_clean(self, setting, policy):
+        trace = evaluation_traces(setting)["helr256"]
+        capacity = setting.evk_bytes(prng=True) * 4.0
+        sched = schedule_trace(trace, setting, capacity, policy=policy)
+        report = verify_schedule(sched, setting)
+        assert report.ok, report.render()
+
+    def test_chain_regions_are_bottom_up(self, setting):
+        regions = chain_regions(setting)
+        assert [r.name for r in regions] == ["base", "normal", "stc", "boot"]
+        assert regions[0].start == 0
+        for prev, cur in zip(regions, regions[1:]):
+            assert cur.start == prev.stop
+        assert regions[-1].stop == setting.max_level
+
+
+# ---------------------------------------------------------------------------
+# Targeted diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestTraceDiagnostics:
+    def test_empty_trace_warns_but_passes(self, setting):
+        report = verify_trace(Trace("empty"), setting)
+        assert report.ok
+        assert "TRC-EMPTY" in report.codes()
+
+    def test_unannotated_trace_rejected(self, setting):
+        trace = Trace("plain", [HeOp(OpKind.HMULT, LIMBS)])
+        report = verify_trace(trace, setting)
+        assert "TRC-UNANNOTATED" in report.error_codes()
+
+    def test_use_before_def_flagged(self, setting):
+        trace = chain_trace(4)
+        trace.ops.append(HeOp(OpKind.HADD, LIMBS, dst="t9", srcs=("never_defined",)))
+        report = verify_trace(trace, setting)
+        assert "TRC-UNDEF" in report.error_codes()
+        bad = next(d for d in report.errors if d.code == "TRC-UNDEF")
+        assert bad.op_index == 4 and bad.value == "never_defined"
+
+    def test_double_def_flagged(self, setting):
+        trace = chain_trace(4)
+        trace.ops[2] = replace(trace.ops[2], dst=trace.ops[1].dst)
+        report = verify_trace(trace, setting)
+        assert "TRC-REDEF" in report.error_codes()
+
+    def test_dead_output_flagged_except_final_op(self, setting):
+        trace = chain_trace(4)
+        trace.ops.insert(
+            2, HeOp(OpKind.HADD, LIMBS, dst="orphan", srcs=(trace.ops[1].dst,))
+        )
+        report = verify_trace(trace, setting)
+        dead = [d for d in report.errors if d.code == "TRC-DEAD"]
+        assert [d.value for d in dead] == ["orphan"]
+
+    def test_level_src_mismatch_flagged(self, setting):
+        trace = chain_trace(4)
+        trace.ops[2] = replace(trace.ops[2], limbs=LIMBS + 1)
+        report = verify_trace(trace, setting)
+        assert "TRC-LEVEL-SRC" in report.error_codes()
+
+    def test_rescale_must_match_region_width(self, setting):
+        # LIMBS = 8 sits in the SS normal region (one prime per level),
+        # so a two-limb drop is over-wide.
+        trace = chain_trace(3)
+        trace.ops[1] = replace(trace.ops[1], drop=2)
+        report = verify_trace(trace, setting)
+        assert "TRC-RESCALE" in report.error_codes()
+
+    def test_schedule_log_tamper_detected_by_replay(self, setting, scheduled_helr):
+        events = list(scheduled_helr.log.events)
+        target = next(i for i, e in enumerate(events) if e.fetched)
+        events[target] = replace(events[target], fetched=())
+        forged = ScheduledTrace(
+            trace=scheduled_helr.trace,
+            liveness=scheduled_helr.liveness,
+            log=ScheduleLog(
+                scheduled_helr.log.policy,
+                scheduled_helr.log.capacity_bytes,
+                events,
+            ),
+        )
+        report = verify_schedule(forged, setting)
+        assert "SCH-REPLAY" in report.error_codes()
+
+    def test_diagnostic_render_carries_provenance(self):
+        d = Diagnostic("TRC-UNDEF", Severity.ERROR, "boom", op_index=7, value="v1")
+        assert d.render() == "ERROR TRC-UNDEF @op7 [v1]: boom"
+        report = CheckReport("trace", "unit")
+        assert report.ok
+        report.warning("W-ONLY", "just a warning")
+        assert report.ok and report.codes() == {"W-ONLY"}
+        report.error("E-NOW", "an error")
+        assert not report.ok and report.error_codes() == {"E-NOW"}
+
+
+class TestCkksDiagnostics:
+    def params(self, depth=4):
+        return AbstractParams.synthetic(depth=depth, scale_bits=35.0, base_bits=42.0)
+
+    def test_disciplined_program_is_clean(self):
+        def program(ev):
+            ct = ev.fresh()
+            acc = ev.add(ev.rotate(ct), ct)
+            while acc.level > 0:
+                acc = ev.multiply(acc, ev.fresh(level=acc.level), rescale=True)
+
+        report = check_program(program, self.params(), "clean")
+        assert report.ok and not report.warnings, report.render()
+
+    def test_scale_mismatch_with_provenance(self):
+        p = self.params()
+
+        def program(ev):
+            a = ev.fresh()
+            b = ev.fresh(scale=p.default_scale * 3.0)
+            ev.add(a, b)
+
+        report = check_program(program, p, "mismatch")
+        bad = next(d for d in report.errors if d.code == "CKKS-SCALE-MISMATCH")
+        assert bad.op_index == 2  # the add is the third evaluator call
+
+    def test_level_underflow_on_exhausted_chain(self):
+        def program(ev):
+            ev.rescale(ev.fresh(level=0))
+
+        report = check_program(program, self.params(), "underflow")
+        assert "CKKS-LEVEL-UNDERFLOW" in report.error_codes()
+
+    def test_missing_rescale_overflows_the_budget(self):
+        def program(ev):
+            ct = ev.fresh()
+            for _ in range(3):
+                ct = ev.square(ct, rescale=False)
+
+        report = check_program(program, self.params(), "no-rescale")
+        assert "CKKS-SCALE-OVERFLOW" in report.error_codes()
+
+    def test_stacked_scales_warn_before_they_overflow(self):
+        report = CheckReport("ckks", "stacked")
+        ev = SymbolicEvaluator(self.params(depth=8), report)
+        ct = ev.fresh()
+        ct = ev.square(ct, rescale=False)
+        ev.multiply(ct, ev.fresh(), rescale=False)
+        assert report.ok
+        assert any(d.code == "CKKS-SCALE-STACKED" for d in report.warnings)
+
+    def test_drift_warning_on_uneven_step(self):
+        params = AbstractParams(
+            step_scales=(2.0**33,),  # 2 bits below the default scale
+            default_scale=2.0**35,
+            base_log2=42.0,
+            fresh_level=1,
+        )
+
+        def program(ev):
+            ev.rescale(ev.fresh())
+
+        report = check_program(program, params, "drift")
+        assert report.ok
+        assert any(d.code == "CKKS-SCALE-DRIFT" for d in report.warnings)
+
+
+# ---------------------------------------------------------------------------
+# Seeded-mutation corpus: 100% detection
+# ---------------------------------------------------------------------------
+
+
+class TestMutationCorpus:
+    def test_corpus_is_broad(self, setting):
+        corpus = build_corpus(setting)
+        assert len(corpus) >= 15
+        assert {c.kind for c in corpus} == {
+            "ssa",
+            "level",
+            "schedule",
+            "ckks",
+            "bounds",
+        }
+
+    def test_every_mutation_is_caught(self, setting):
+        results = run_corpus(setting)
+        missed = [r.case.name for r in results if not r.caught]
+        assert not missed, f"verifier accepted mutants: {missed}"
+
+    def test_expected_codes_actually_fire(self, setting):
+        for result in run_corpus(setting):
+            fired = result.report.error_codes() & set(result.case.expect_codes)
+            assert fired, result.case.name
+
+
+# ---------------------------------------------------------------------------
+# Robustness of the scheduler entry points
+# ---------------------------------------------------------------------------
+
+
+class TestRobustness:
+    BAD_CAPACITIES = [0, -1.0, float("nan"), float("inf"), -float("inf")]
+
+    @pytest.mark.parametrize("capacity", BAD_CAPACITIES)
+    def test_allocator_rejects_bad_capacity(self, capacity):
+        with pytest.raises(ValueError, match="capacity"):
+            ScratchpadAllocator(capacity)
+
+    @pytest.mark.parametrize("capacity", BAD_CAPACITIES)
+    def test_schedule_trace_rejects_bad_capacity(self, setting, capacity):
+        with pytest.raises(ValueError, match="capacity"):
+            schedule_trace(chain_trace(3), setting, capacity)
+
+    def test_allocator_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            ScratchpadAllocator(1e6, policy="fifo")
+
+    def test_schedule_trace_rejects_unknown_policy(self, setting):
+        with pytest.raises(ValueError, match="policy"):
+            schedule_trace(chain_trace(3), setting, 1e6, policy="mru")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties
+# ---------------------------------------------------------------------------
+
+
+HYPO = settings(derandomize=True, deadline=None, max_examples=25)
+
+
+class TestProperties:
+    @HYPO
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        capacity_factor=st.floats(min_value=0.25, max_value=16.0),
+    )
+    def test_well_formed_chains_always_verify(self, setting, n, capacity_factor):
+        trace = chain_trace(n)
+        assert verify_trace(trace, setting).ok
+        capacity = setting.ciphertext_bytes(LIMBS) * capacity_factor
+        sched = schedule_trace(trace, setting, capacity)
+        report = verify_schedule(sched, setting)
+        assert report.ok, report.render()
+
+    @HYPO
+    @given(
+        n=st.integers(min_value=4, max_value=24),
+        pos=st.floats(min_value=0.0, max_value=1.0),
+        mutation=st.sampled_from(["drop-def", "redefine", "dangling", "limb-bump"]),
+    )
+    def test_injected_trace_violations_always_flag(self, setting, n, pos, mutation):
+        trace = chain_trace(n)
+        # Interior op: its dst feeds op i+1 and its srcs come from i-1.
+        i = 1 + round(pos * (n - 3))
+        ops = list(trace.ops)
+        if mutation == "drop-def":
+            del ops[i]
+            expected = "TRC-UNDEF"
+        elif mutation == "redefine":
+            ops[i] = replace(ops[i], dst=ops[i - 1].dst)
+            expected = "TRC-REDEF"
+        elif mutation == "dangling":
+            ops[i] = replace(ops[i], srcs=("ghost",))
+            expected = "TRC-UNDEF"
+        else:  # limb-bump: op claims a level its operand doesn't hold
+            ops[i] = replace(ops[i], limbs=LIMBS + 1)
+            expected = "TRC-LEVEL-SRC"
+        report = verify_trace(Trace("mutant", ops), setting)
+        assert expected in report.error_codes(), report.render()
+
+    @HYPO
+    @given(fraction=st.floats(min_value=0.01, max_value=0.99))
+    def test_capacity_shrink_always_flags(self, setting, scheduled_helr, fraction):
+        """Forging a smaller capacity onto a recorded log must be caught.
+
+        The forged capacity is chosen below the log's best occupancy
+        margin (occupancy minus that op's own pinned working set), so
+        the transient-overflow allowance provably cannot excuse it.
+        """
+        from repro.check.trace_check import _pinned_bytes
+
+        log = scheduled_helr.log
+        margins = [
+            (e.occupancy_bytes, _pinned_bytes(scheduled_helr, i))
+            for i, e in enumerate(log.events)
+        ]
+        best_occ = max(
+            (occ for occ, pinned in margins if occ > pinned + 1.0), default=None
+        )
+        assert best_occ is not None  # fixture capacity guarantees this
+        forged_capacity = max(1.0, (best_occ - 1.0) * fraction)
+        forged = ScheduledTrace(
+            trace=scheduled_helr.trace,
+            liveness=scheduled_helr.liveness,
+            log=ScheduleLog(log.policy, forged_capacity, list(log.events)),
+        )
+        report = verify_schedule(forged, setting)
+        assert {"SCH-OCCUPANCY", "SCH-REPLAY"} & report.error_codes()
+
+
+# ---------------------------------------------------------------------------
+# The CLI gate itself
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_cli_passes_end_to_end(self, capsys):
+        from repro.check.cli import main
+
+        assert main(["--skip-mutations"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_cli_math_is_checked_not_asserted(self):
+        # The CLI derives the safe bound instead of trusting the constant.
+        assert max_safe_word_bits(limit=63) == 62

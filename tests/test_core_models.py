@@ -1,7 +1,5 @@
 """Tests for the word-length analysis engine (paper S3)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,5 @@
 """Tests for the accelerator model: configs, area, lowering, simulator."""
 
-import math
-
 import pytest
 
 from repro.core.config import (

@@ -21,7 +21,9 @@ class TestChebyshevFit:
         assert C.chebval(1.0, coeffs) == pytest.approx(16.0, abs=1e-9)
 
     def test_sigmoid_accuracy_grows_with_degree(self):
-        sig = lambda t: 1.0 / (1.0 + np.exp(-6 * t))
+        def sig(t):
+            return 1.0 / (1.0 + np.exp(-6 * t))
+
         x = np.linspace(-1, 1, 300)
         errs = [
             np.max(np.abs(C.chebval(x, chebyshev_fit(sig, d)) - sig(x)))

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.params.presets import (
-    WORD_LENGTHS,
     build_setting,
     build_sharp_setting,
 )

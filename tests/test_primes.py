@@ -1,7 +1,5 @@
 """Tests for the NTT-friendly prime search (paper S3.1 machinery)."""
 
-import math
-
 import pytest
 
 from repro.params.primes import (

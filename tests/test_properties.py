@@ -7,8 +7,7 @@ the NTT engines, the encoder, and the parameter machinery.
 import math
 
 import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ckks.encoder import CkksEncoder

@@ -37,8 +37,6 @@ class TestAutomorphismLanes:
     def test_conjugation_also_distinct(self, ring):
         import numpy as np
 
-        from repro.hw.rf import AutomorphismLaneProfile
-
         # Conjugation is X -> X^(2N-1); route it through the profile by
         # checking the permutation directly.
         perm = ring.automorphism_eval_permutation(ring.conjugation_element)

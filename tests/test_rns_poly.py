@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ntt.reference import NttContext
 from repro.rns.bconv import CONVERTERS, BaseConverter
 from repro.rns.poly import RingContext, RnsPolynomial
 
