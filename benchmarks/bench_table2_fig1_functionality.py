@@ -106,6 +106,52 @@ def test_table2_resnet_row(benchmark):
     assert results[35].accuracy > 0.6  # recovered
 
 
+def test_table2_fig1_static_twin(benchmark):
+    """The statically derived twin of the empirical tables above.
+
+    ``repro.check.wordlen_audit.scale_audit`` walks the same scale
+    points through the abstract noise domain — no encryption, no
+    training — and must land on the same regimes: everything explodes
+    at 2^27, HELR/sorting recover at 2^29, ResNet-20 only at 2^33.
+    """
+    from repro.check.wordlen_audit import scale_audit
+
+    def sweep():
+        return {
+            bits: {e.workload: e for e in scale_audit(float(bits), float(boot))}
+            for bits, boot in SCALE_POINTS
+        }
+
+    results = benchmark(sweep)
+    workloads = ["helr", "resnet20", "sorting", "bootstrapping"]
+    rows = []
+    for bits, _ in SCALE_POINTS:
+        row = [f"2^{bits}"]
+        for w in workloads:
+            e = results[bits][w]
+            row.append("explosion" if e.exploded else f"{e.mean_floor_bits:.2f}b")
+        rows.append(row)
+    print_table(
+        "Table 2 twin (static): proven mean precision floor vs scale",
+        ["scale"] + workloads,
+        rows,
+    )
+    # Same cliffs as the empirical rows: 2^27 collapses everywhere,
+    # HELR/sorting recover at 2^29, ResNet-20 needs 2^33.
+    for w in ("helr", "resnet20", "sorting"):
+        assert results[27][w].exploded
+    assert not results[29]["helr"].exploded
+    assert not results[29]["sorting"].exploded
+    assert results[29]["resnet20"].exploded
+    assert results[31]["resnet20"].exploded
+    assert not results[33]["resnet20"].exploded
+    # Boot floor tracks the paper's boot-precision column within a bit.
+    for (bits, _), pb in zip(SCALE_POINTS, PAPER_BOOT):
+        if bits >= 29:
+            floor = results[bits]["bootstrapping"].mean_floor_bits
+            assert abs(floor - pb) < 1.5, (bits, floor, pb)
+
+
 def test_table2_sorting_row(benchmark):
     rng = np.random.default_rng(1)
     values = rng.uniform(0, 1, 1 << 12)

@@ -1,6 +1,6 @@
 """Static analysis for the FHE stack (``python -m repro.check``).
 
-Three passes, none of which execute any encryption:
+Five passes, none of which execute any encryption:
 
 * :mod:`repro.check.trace_check` — SSA well-formedness, modulus-chain
   bookkeeping and rescale legality over HE-op traces, plus structural
@@ -8,7 +8,14 @@ Three passes, none of which execute any encryption:
 * :mod:`repro.check.ckks_check` — abstract ``(level, scale)``
   interpretation of evaluator call sequences;
 * :mod:`repro.check.bounds` — exact worst-case magnitude proofs for
-  the lazy-reduction kernel and butterfly chains.
+  the lazy-reduction kernel and butterfly chains;
+* :mod:`repro.check.noise_check` — abstract interpretation over the
+  noise domain (worst-case bound + average-case estimate, drift from
+  the relative rescale jitter), sharing its per-op standard deviations
+  with the empirical executor via :mod:`repro.ckks.calibration`;
+* :mod:`repro.check.wordlen_audit` — the word-length robustness sweep
+  that statically re-derives Table 2 / Fig. 1 and re-derives any
+  externally-presented precision claims.
 
 :mod:`repro.check.mutations` keeps the verifier honest: a corpus of
 seeded violations that must all be caught.
@@ -30,11 +37,29 @@ from repro.check.ckks_check import (
 )
 from repro.check.diagnostics import CheckReport, Diagnostic, Severity
 from repro.check.mutations import MutationCase, MutationResult, build_corpus, run_corpus
+from repro.check.noise_check import (
+    NoiseCheckEvaluator,
+    NoiseParams,
+    NoiseState,
+    NoiseSummary,
+    PolySpec,
+    SignSpec,
+    check_noise_program,
+)
 from repro.check.trace_check import (
     ChainRegion,
     chain_regions,
     verify_schedule,
     verify_trace,
+)
+from repro.check.wordlen_audit import (
+    AuditEntry,
+    AuditResult,
+    PrecisionClaim,
+    claims_from_audit,
+    run_audit,
+    scale_audit,
+    verify_claims,
 )
 
 __all__ = [
@@ -59,4 +84,18 @@ __all__ = [
     "chain_regions",
     "verify_schedule",
     "verify_trace",
+    "NoiseCheckEvaluator",
+    "NoiseParams",
+    "NoiseState",
+    "NoiseSummary",
+    "PolySpec",
+    "SignSpec",
+    "check_noise_program",
+    "AuditEntry",
+    "AuditResult",
+    "PrecisionClaim",
+    "claims_from_audit",
+    "run_audit",
+    "scale_audit",
+    "verify_claims",
 ]

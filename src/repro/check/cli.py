@@ -1,6 +1,6 @@
 """``python -m repro.check`` — the static verification gate.
 
-Runs all three passes without executing any encryption:
+Runs all passes without executing any encryption:
 
 1. **bounds** — kernel bound certificates for the word-length presets
    (must prove) and a synthetic over-wide configuration (must refute),
@@ -12,16 +12,29 @@ Runs all three passes without executing any encryption:
    schedule log verified (structure + deterministic replay);
 3. **ckks** — a representative evaluator program over the abstract
    (level, scale) domain of a functional parameter set;
-4. **mutations** — the seeded corpus of known-bad artifacts, all of
+4. **noise** — the word-length robustness audit: every shipped
+   workload noise program abstract-interpreted over the noise domain
+   at each word-length preset; the 28-bit regime must be *proved* to
+   explode, the 36/50/62-bit regimes must prove their precision floors
+   with zero false positives, the 36-bit bootstrapping floor must land
+   within a bit of Table 2, and the audit's claims must survive
+   re-derivation;
+5. **mutations** — the seeded corpus of known-bad artifacts, all of
    which must be caught.
 
-Exit status 0 means every gate passed; any accepted mutant, failed
-proof, or dirty trace is a non-zero exit, which is what CI gates on.
+``--json PATH`` additionally writes the whole run as a
+machine-readable report (``-`` for stdout, human output moves to
+stderr); ``--summary-md PATH`` writes a GitHub-flavored markdown job
+summary.  Exit status 0 means every gate passed; any accepted mutant,
+failed proof, hidden explosion, or dirty trace is a non-zero exit,
+which is what CI gates on.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 import time
 from typing import Sequence
@@ -33,10 +46,14 @@ from repro.check.mutations import run_corpus
 from repro.check.trace_check import verify_schedule, verify_trace
 from repro.rns import kernels
 
-__all__ = ["main"]
+__all__ = ["main", "render_markdown_summary"]
 
 PROVE_BITS = (28, 36, 50, 62)
 REJECT_BITS = (63,)
+
+# How far the statically-derived 36-bit bootstrapping floor may sit
+# from Table 2's measured precision (acceptance criterion: +/- 1 bit).
+ANCHOR_TOLERANCE_BITS = 1.0
 
 
 def _demo_program(ev: SymbolicEvaluator) -> None:
@@ -55,11 +72,53 @@ def _report_lines(report: CheckReport, verbose: bool) -> list[str]:
     return [f"[{report.pass_name}] {report.subject}: OK"]
 
 
+def render_markdown_summary(payload: dict) -> str:
+    """GitHub job-summary markdown for one ``--json`` payload."""
+    verdict = payload["verdict"]
+    icon = "✅" if verdict == "PASS" else "❌"
+    lines = [
+        f"## repro.check: {icon} {verdict}",
+        "",
+        f"{payload['gates_passed']}/{payload['gates_total']} gates passed "
+        f"in {payload['elapsed_s']:.1f}s.",
+        "",
+        "| gate | subject | status |",
+        "| --- | --- | --- |",
+    ]
+    for gate in payload["gates"]:
+        status = "ok" if gate["ok"] else "**FAIL**"
+        lines.append(f"| {gate['pass']} | {gate['subject']} | {status} |")
+    audit = payload.get("noise_audit")
+    if audit:
+        lines += [
+            "",
+            "### Static word-length audit (Table 2 twin)",
+            "",
+            "| word | scale | workload | verdict | mean floor (bits) "
+            "| proven floor (bits) | drift (bits) |",
+            "| --- | --- | --- | --- | --- | --- | --- |",
+        ]
+        for e in audit["entries"]:
+            mean = e["mean_floor_bits"]
+            worst = e["proven_floor_bits"]
+            verdict_cell = e["verdict"]
+            if e["explosion_op"] is not None:
+                verdict_cell += f" @op{e['explosion_op']}"
+            lines.append(
+                f"| {e['word_bits']} | 2^{e['scale_bits']:.0f} "
+                f"| {e['workload']} | {verdict_cell} "
+                f"| {'-' if mean is None else f'{mean:.2f}'} "
+                f"| {'-' if worst is None else f'{worst:.2f}'} "
+                f"| {e['drift_bits']:.3f} |"
+            )
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.check",
         description="Static verification: traces, schedules, CKKS discipline, "
-        "kernel overflow bounds.",
+        "noise budgets, kernel overflow bounds.",
     )
     parser.add_argument(
         "--setting-bits",
@@ -78,6 +137,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="skip the seeded-mutation corpus (faster local runs)",
     )
     parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable report to PATH ('-' for stdout; "
+        "human output then moves to stderr)",
+    )
+    parser.add_argument(
+        "--summary-md",
+        metavar="PATH",
+        default=None,
+        help="write a GitHub job-summary markdown file to PATH",
+    )
+    parser.add_argument(
         "--verbose", "-v", action="store_true", help="print every diagnostic"
     )
     args = parser.parse_args(argv)
@@ -85,19 +157,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     started = time.perf_counter()
     failures = 0
     lines: list[str] = []
+    gates: list[dict] = []
+    noise_audit_payload: dict | None = None
+
+    def gate(pass_name: str, subject: str, ok: bool) -> bool:
+        gates.append({"pass": pass_name, "subject": subject, "ok": bool(ok)})
+        return ok
+
+    def gate_report(report: CheckReport, verbose: bool) -> None:
+        nonlocal failures
+        lines.extend(_report_lines(report, verbose))
+        if not gate(report.pass_name, report.subject, report.ok):
+            failures += 1
 
     # -- pass 1: kernel bound prover ---------------------------------------
     for bits in PROVE_BITS:
         certificate = certify_word_bits(bits)
         status = "proved" if certificate.ok else "FAILED TO PROVE"
         lines.append(f"[bounds] word_bits={bits}: {status}")
-        if not certificate.ok:
+        if not gate("bounds", f"word_bits={bits}", certificate.ok):
             failures += 1
             for chain, step in certificate.failures():
                 lines.append(f"  {chain}: {step.label} -> {step.magnitude}")
     for bits in REJECT_BITS:
         certificate = certify_word_bits(bits)
-        if certificate.ok:
+        if not gate("bounds", f"word_bits={bits} (must reject)", not certificate.ok):
             failures += 1
             lines.append(
                 f"[bounds] word_bits={bits}: PROVED BUT MUST WRAP — "
@@ -106,7 +190,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             lines.append(f"[bounds] word_bits={bits}: rejected (as it must be)")
     derived = max_safe_word_bits()
-    if derived != kernels.FAST_MODULUS_BITS:
+    if not gate("bounds", "derived-safe-bound", derived == kernels.FAST_MODULUS_BITS):
         failures += 1
         lines.append(
             f"[bounds] derived safe bound {derived} != shipped "
@@ -136,33 +220,106 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name, trace in traces.items():
             report = verify_trace(trace, setting)
             report.subject = f"{name}{variant}"
-            lines.extend(_report_lines(report, args.verbose))
-            failures += 0 if report.ok else 1
+            gate_report(report, args.verbose)
             if variant:
                 fused, _ = fuse_trace(trace)
                 fused_report = verify_trace(fused, setting)
                 fused_report.subject = f"{name}{variant}+fused"
-                lines.extend(_report_lines(fused_report, args.verbose))
-                failures += 0 if fused_report.ok else 1
+                gate_report(fused_report, args.verbose)
 
     for name, trace in evaluation_traces(setting).items():
         sched = schedule_trace(trace, setting, capacity, policy=args.policy)
         report = verify_schedule(sched, setting)
         report.subject = f"{name}@{args.policy}"
-        lines.extend(_report_lines(report, args.verbose))
-        failures += 0 if report.ok else 1
+        gate_report(report, args.verbose)
 
     # -- pass 3: CKKS program discipline -----------------------------------
     abstract = AbstractParams.synthetic(depth=8, scale_bits=35.0, base_bits=42.0)
     report = check_program(_demo_program, abstract, "demo-chain")
-    lines.extend(_report_lines(report, args.verbose))
-    failures += 0 if report.ok else 1
+    gate_report(report, args.verbose)
 
-    # -- pass 4: seeded mutations ------------------------------------------
+    # -- pass 4: noise-budget audit (static Table 2 twin) ------------------
+    from repro.check.wordlen_audit import (
+        EXPECTED_REGIMES,
+        PAPER_BOOT_PRECISION_AT_35,
+        claims_from_audit,
+        run_audit,
+        verify_claims,
+    )
+
+    audit = run_audit()
+    if args.verbose:
+        lines.extend(audit.render().splitlines())
+    for entry in audit.entries:
+        # Zero-false-positive gate: robust regimes must pass cleanly,
+        # the short-word regime must be *proved* to explode.
+        word = entry.word_bits
+        expected = EXPECTED_REGIMES.get(word if word is not None else -1)
+        if expected == "explosion":
+            ok = entry.workload == "bootstrapping" or entry.exploded
+        else:
+            ok = entry.passed
+        subject = f"{entry.workload}@{word}"
+        if not gate("noise", subject, ok):
+            failures += 1
+            lines.append(f"[noise] {subject}: unexpected verdict {entry.verdict}")
+        elif not args.verbose:
+            where = (
+                f" (explodes @op{entry.explosion_op})" if entry.exploded else ""
+            )
+            floor = (
+                f"floor {entry.mean_floor_bits:.2f} bits"
+                if math.isfinite(entry.mean_floor_bits)
+                else "no floor"
+            )
+            lines.append(f"[noise] {subject}: {entry.verdict}{where}, {floor}")
+    for word in audit.words():
+        regime = audit.regime(word)
+        expected = EXPECTED_REGIMES[word]
+        expected_ok = regime == ("robust" if expected == "robust" else "explosion")
+        if not gate("noise", f"regime word={word}", expected_ok):
+            failures += 1
+            lines.append(
+                f"[noise] word={word}: derived regime {regime!r}, "
+                f"paper says {expected!r}"
+            )
+        else:
+            lines.append(f"[noise] word={word}: {regime} (matches Table 2)")
+    boot36 = audit.entry(36, "bootstrapping")
+    anchor_delta = abs(boot36.mean_floor_bits - PAPER_BOOT_PRECISION_AT_35)
+    if not gate("noise", "table2-boot-anchor", anchor_delta <= ANCHOR_TOLERANCE_BITS):
+        failures += 1
+        lines.append(
+            f"[noise] 36-bit bootstrapping floor {boot36.mean_floor_bits:.2f} "
+            f"bits is {anchor_delta:.2f} bits from Table 2's "
+            f"{PAPER_BOOT_PRECISION_AT_35} (tolerance {ANCHOR_TOLERANCE_BITS})"
+        )
+    else:
+        lines.append(
+            f"[noise] 36-bit bootstrapping floor {boot36.mean_floor_bits:.2f} "
+            f"bits (Table 2: {PAPER_BOOT_PRECISION_AT_35}, "
+            f"delta {anchor_delta:.2f})"
+        )
+    claim_report = verify_claims(claims_from_audit(audit))
+    claim_report.subject = "claims-rederive"
+    gate_report(claim_report, args.verbose)
+    noise_audit_payload = {
+        "entries": [e.to_dict() for e in audit.entries],
+        "regimes": {str(w): audit.regime(w) for w in audit.words()},
+        "table2_boot_anchor": {
+            "derived_bits": boot36.mean_floor_bits,
+            "paper_bits": PAPER_BOOT_PRECISION_AT_35,
+            "delta_bits": anchor_delta,
+        },
+    }
+
+    # -- pass 5: seeded mutations ------------------------------------------
     if not args.skip_mutations:
         results = run_corpus(setting)
         caught = sum(1 for r in results if r.caught)
         lines.append(f"[mutations] {caught}/{len(results)} injected violations caught")
+        if not gate("mutations", f"{caught}/{len(results)} caught", caught == len(results)):
+            pass  # failures counted per-case below
         for result in results:
             if not result.caught:
                 failures += 1
@@ -178,10 +335,32 @@ def main(argv: Sequence[str] | None = None) -> int:
                 lines.append(f"  caught {result.case.name}: {fired}")
 
     elapsed = time.perf_counter() - started
-    for line in lines:
-        print(line)
     verdict = "PASS" if failures == 0 else f"FAIL ({failures} gate(s))"
-    print(f"\nrepro.check: {verdict} in {elapsed:.1f}s")
+    payload = {
+        "verdict": "PASS" if failures == 0 else "FAIL",
+        "failures": failures,
+        "elapsed_s": elapsed,
+        "gates": gates,
+        "gates_passed": sum(1 for g in gates if g["ok"]),
+        "gates_total": len(gates),
+        "noise_audit": noise_audit_payload,
+    }
+
+    human_out = sys.stderr if args.json == "-" else sys.stdout
+    for line in lines:
+        print(line, file=human_out)
+    print(f"\nrepro.check: {verdict} in {elapsed:.1f}s", file=human_out)
+
+    if args.json is not None:
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+    if args.summary_md is not None:
+        with open(args.summary_md, "w", encoding="utf-8") as fh:
+            fh.write(render_markdown_summary(payload) + "\n")
     return 0 if failures == 0 else 1
 
 

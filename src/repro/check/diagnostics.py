@@ -38,6 +38,15 @@ class Diagnostic:
         who = f" [{self.value}]" if self.value is not None else ""
         return f"{self.severity.value.upper()} {self.code}{where}{who}: {self.message}"
 
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "op_index": self.op_index,
+            "value": self.value,
+        }
+
 
 @dataclass
 class CheckReport:
@@ -96,3 +105,11 @@ class CheckReport:
         lines = [f"[{self.pass_name}] {self.subject}: {status}"]
         lines.extend(f"  {d.render()}" for d in self.diagnostics)
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "pass": self.pass_name,
+            "subject": self.subject,
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

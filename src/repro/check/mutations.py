@@ -17,7 +17,14 @@ from typing import Callable
 from repro.check.bounds import certify_report
 from repro.check.ckks_check import AbstractParams, SymbolicEvaluator, check_program
 from repro.check.diagnostics import CheckReport
+from repro.check.noise_check import NoiseParams, check_noise_program
 from repro.check.trace_check import verify_schedule, verify_trace
+from repro.check.wordlen_audit import (
+    PrecisionClaim,
+    claims_from_audit,
+    run_audit,
+    verify_claims,
+)
 from repro.hw.isa import HeOp, OpKind, Trace
 from repro.params.presets import WordLengthSetting
 from repro.sched.events import ScheduleEvent, ScheduleLog
@@ -32,7 +39,7 @@ class MutationCase:
     """One known-bad artifact and the codes that must flag it."""
 
     name: str
-    kind: str  # "ssa" | "level" | "schedule" | "ckks" | "bounds"
+    kind: str  # "ssa" | "level" | "schedule" | "ckks" | "bounds" | "noise"
     run: Callable[[], CheckReport]
     expect_codes: tuple[str, ...]
 
@@ -361,6 +368,87 @@ def build_corpus(setting: WordLengthSetting) -> list[MutationCase]:
     cases.append(
         MutationCase(
             "word-bits-64", "bounds", lambda: certify_report(64), ("KB-OVERFLOW",)
+        )
+    )
+
+    # -- noise-domain violations --------------------------------------------
+    def inflated_scale() -> CheckReport:
+        # A 60-bit scale claimed on 28-bit words: no SS prime fits and a
+        # DS pair would need primes wider than the word.
+        from repro.workloads.noise_programs import noise_programs
+
+        program = noise_programs()["bootstrapping"]
+        params = NoiseParams(
+            scale_bits=60.0, boot_scale_bits=55.0, word_bits=28
+        )
+        report, _ = check_noise_program(program.build, params, "inflated-scale")
+        return report
+
+    cases.append(
+        MutationCase(
+            "noise-inflated-scale",
+            "noise",
+            inflated_scale,
+            ("NOISE-SCALE-UNREALIZABLE",),
+        )
+    )
+    cases.append(
+        MutationCase(
+            # An analyzer that forgot the relative rescale-jitter term
+            # sees no drift, so it certifies the 28-bit explosion regime
+            # as clean — its claims must not survive re-derivation.
+            "noise-skipped-jitter",
+            "noise",
+            lambda: verify_claims(
+                claims_from_audit(run_audit((28, 36), include_jitter=False))
+            ),
+            ("NOISE-EXPLOSION-HIDDEN",),
+        )
+    )
+    cases.append(
+        MutationCase(
+            # An analyzer that understates bootstrap noise overstates the
+            # bootstrapping precision floor at the robust scale.
+            "noise-understated-boot",
+            "noise",
+            lambda: verify_claims(
+                claims_from_audit(run_audit((36,), include_boot_noise=False))
+            ),
+            ("NOISE-CLAIM",),
+        )
+    )
+    cases.append(
+        MutationCase(
+            "noise-hidden-explosion",
+            "noise",
+            lambda: verify_claims(
+                [
+                    PrecisionClaim(
+                        word_bits=28,
+                        workload="helr",
+                        exploded=False,
+                        mean_floor_bits=14.7,
+                    )
+                ]
+            ),
+            ("NOISE-EXPLOSION-HIDDEN",),
+        )
+    )
+    cases.append(
+        MutationCase(
+            "noise-overclaimed-floor",
+            "noise",
+            lambda: verify_claims(
+                [
+                    PrecisionClaim(
+                        word_bits=36,
+                        workload="bootstrapping",
+                        exploded=False,
+                        mean_floor_bits=23.5,
+                    )
+                ]
+            ),
+            ("NOISE-CLAIM",),
         )
     )
     return cases

@@ -1,0 +1,73 @@
+"""Single source of truth for the calibrated CKKS noise magnitudes.
+
+Both consumers of the Table 2 noise calibration import from here:
+
+* the *empirical* :class:`repro.ckks.noise.NoisyEvaluator`, which
+  injects these standard deviations into concrete numpy vectors; and
+* the *static* :mod:`repro.check.noise_check` pass, which propagates
+  them symbolically through evaluator programs.
+
+Keeping the per-op standard-deviation formulas in one module is what
+makes the static analyzer's validation meaningful: the bound it proves
+and the noise the executor injects can never drift apart, because they
+are literally the same numbers (tests/test_noise_check.py pins this).
+
+Calibration against the paper's Table 2 measurements at ``N = 2**16``:
+precision = scale_bits - offset (fresh ~ 12.6 bits below the scale,
+bootstrap ~ 13.3 bits below).  The relative term models RNS prime
+granularity: scale-sized prime candidates are spaced ``2N = 2**17``
+apart, so every rescale carries a *relative* error of order
+``2N / scale`` — the multiplicative jitter that, compounded across a
+workload's thousands of rescales, drives the paper's low-scale error
+explosions while ``2**35`` keeps it at ``2**-18``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FRESH_OFFSET_BITS",
+    "OP_OFFSET_BITS",
+    "BOOT_OFFSET_BITS",
+    "RELATIVE_OFFSET_BITS",
+    "BOOT_CAP_OFFSET_BITS",
+    "fresh_std",
+    "op_std",
+    "relative_std",
+    "boot_std",
+]
+
+# Calibration against Table 2 (N = 2^16): precision = scale_bits - offset.
+FRESH_OFFSET_BITS = 12.6
+BOOT_OFFSET_BITS = 13.3
+OP_OFFSET_BITS = 13.0  # HMult / HRot key-switch + rescale noise
+# RNS primes can only approximate the scale: at N = 2^16 candidates are
+# spaced 2N = 2^17 apart, so every rescale carries a relative error of
+# order 2N / scale.
+RELATIVE_OFFSET_BITS = 17.0
+# Bootstrapping precision is additionally capped by what the
+# bootstrapping scale can express (Table 2's DS column): the cap is
+# boot_scale_bits - 36.5 bits of precision.
+BOOT_CAP_OFFSET_BITS = 36.5
+
+
+def fresh_std(scale_bits: float) -> float:
+    """Message-domain noise std of a fresh encryption."""
+    return 2.0 ** -(scale_bits - FRESH_OFFSET_BITS)
+
+
+def op_std(scale_bits: float) -> float:
+    """Additive noise std of one key-switched op (HMult/HRot/PMult)."""
+    return 2.0 ** -(scale_bits - OP_OFFSET_BITS)
+
+
+def relative_std(scale_bits: float) -> float:
+    """Relative (multiplicative) std of one rescale's prime-vs-scale
+    deviation: order ``2N / scale`` at N = 2^16."""
+    return 2.0 ** -(scale_bits - RELATIVE_OFFSET_BITS)
+
+
+def boot_std(scale_bits: float, boot_scale_bits: float = 62.0) -> float:
+    """Noise std of one bootstrap, capped by the bootstrapping scale."""
+    base = 2.0 ** -(scale_bits - BOOT_OFFSET_BITS)
+    cap = 2.0 ** -(boot_scale_bits - BOOT_CAP_OFFSET_BITS)
+    return max(base, cap)

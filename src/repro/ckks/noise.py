@@ -20,53 +20,60 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 from numpy.polynomial import chebyshev as C
 
+from repro.ckks import calibration
+from repro.ckks.calibration import (
+    BOOT_OFFSET_BITS,
+    FRESH_OFFSET_BITS,
+    OP_OFFSET_BITS,
+    RELATIVE_OFFSET_BITS,
+)
 from repro.ckks.poly_eval import chebyshev_fit
 
-__all__ = ["NoiseModel", "NoisyVector", "NoisyEvaluator"]
-
-# Calibration against Table 2 (N = 2^16): precision = scale_bits - offset.
-FRESH_OFFSET_BITS = 12.6
-BOOT_OFFSET_BITS = 13.3
-OP_OFFSET_BITS = 13.0  # HMult / HRot key-switch + rescale noise
-# RNS primes can only approximate the scale: at N = 2^16 candidates are
-# spaced 2N = 2^17 apart, so every rescale carries a *relative* error
-# of order 2N / scale.  This multiplicative term, compounding across a
-# workload's thousands of rescales, is what destroys small-scale runs
-# (the paper's error explosions) while 2^35 keeps it at 2^-18.
-RELATIVE_OFFSET_BITS = 17.0
+__all__ = [
+    "NoiseModel",
+    "NoisyVector",
+    "NoisyEvaluator",
+    # Re-exported from repro.ckks.calibration (the single source of
+    # truth shared with the static noise_check pass).
+    "FRESH_OFFSET_BITS",
+    "BOOT_OFFSET_BITS",
+    "OP_OFFSET_BITS",
+    "RELATIVE_OFFSET_BITS",
+]
 
 
 @dataclass(frozen=True)
 class NoiseModel:
-    """Per-op message-domain noise standard deviations."""
+    """Per-op message-domain noise standard deviations.
+
+    Every formula delegates to :mod:`repro.ckks.calibration`, the
+    module the static :mod:`repro.check.noise_check` pass consumes too
+    — the empirical executor and the static analyzer cannot disagree.
+    """
 
     scale_bits: float
     boot_scale_bits: float = 62.0
 
     @property
     def fresh_std(self) -> float:
-        return 2.0 ** -(self.scale_bits - FRESH_OFFSET_BITS)
+        return calibration.fresh_std(self.scale_bits)
 
     @property
     def op_std(self) -> float:
-        return 2.0 ** -(self.scale_bits - OP_OFFSET_BITS)
+        return calibration.op_std(self.scale_bits)
 
     @property
     def relative_std(self) -> float:
-        return 2.0 ** -(self.scale_bits - RELATIVE_OFFSET_BITS)
+        return calibration.relative_std(self.scale_bits)
 
     @property
     def boot_std(self) -> float:
-        # Bootstrapping precision is additionally capped by what the
-        # bootstrapping scale can express (the paper adjusts the boot
-        # scale per setting; Table 2's DS column).
-        base = 2.0 ** -(self.scale_bits - BOOT_OFFSET_BITS)
-        cap = 2.0 ** -(self.boot_scale_bits - 36.5)
-        return max(base, cap)
+        return calibration.boot_std(self.scale_bits, self.boot_scale_bits)
 
 
 @dataclass
@@ -83,7 +90,9 @@ class NoisyVector:
 class NoisyEvaluator:
     """Mirrors the Evaluator API on plain vectors with injected noise."""
 
-    def __init__(self, model: NoiseModel, seed: int = 0, message_ratio: float = 8.0):
+    def __init__(
+        self, model: NoiseModel, seed: int = 0, message_ratio: float = 8.0
+    ) -> None:
         # message_ratio = q0 / scale: the bootstrap's stable range
         # (Lattigo-style message ratio; values beyond it wrap).
         self.model = model
@@ -93,10 +102,10 @@ class NoisyEvaluator:
 
     # -- noise helpers ----------------------------------------------------------
 
-    def _noise(self, shape, std: float) -> np.ndarray:
+    def _noise(self, shape: object, std: float) -> np.ndarray:
         return self.rng.normal(0.0, std, shape)
 
-    def encrypt(self, values) -> NoisyVector:
+    def encrypt(self, values: object) -> NoisyVector:
         v = np.asarray(values, dtype=np.float64)
         return NoisyVector(v + self._noise(v.shape, self.model.fresh_std))
 
@@ -111,7 +120,7 @@ class NoisyEvaluator:
     def sub(self, a: NoisyVector, b: NoisyVector) -> NoisyVector:
         return NoisyVector(a.values - b.values, max(a.ops, b.ops) + 1)
 
-    def add_plain(self, a: NoisyVector, plain) -> NoisyVector:
+    def add_plain(self, a: NoisyVector, plain: object) -> NoisyVector:
         return NoisyVector(a.values + np.asarray(plain), a.ops)
 
     def _rescale_jitter(self, values: np.ndarray) -> np.ndarray:
@@ -125,7 +134,7 @@ class NoisyEvaluator:
         out = out + self._noise(out.shape, self.model.op_std)
         return NoisyVector(out, max(a.ops, b.ops) + 1)
 
-    def multiply_plain(self, a: NoisyVector, plain) -> NoisyVector:
+    def multiply_plain(self, a: NoisyVector, plain: object) -> NoisyVector:
         out = self._rescale_jitter(a.values * np.asarray(plain))
         out = out + self._noise(out.shape, self.model.op_std)
         return NoisyVector(out, a.ops + 1)
@@ -159,7 +168,7 @@ class NoisyEvaluator:
     def poly_eval(
         self,
         a: NoisyVector,
-        fn,
+        fn: Callable[[np.ndarray], np.ndarray],
         degree: int,
         interval: tuple[float, float],
         depth_ops: int | None = None,

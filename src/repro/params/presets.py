@@ -55,6 +55,8 @@ __all__ = [
     "DEFAULT_BOOT_SCALE_BITS",
     "BOOT_DEPTH_SS",
     "STC_DEPTH",
+    "boot_plan",
+    "native_scale_bits",
 ]
 
 WORD_LENGTHS = (28, 32, 36, 40, 44, 48, 52, 56, 60, 64)
@@ -232,6 +234,28 @@ def _boot_plan(word_bits: int) -> tuple[float, int]:
     # Largest DS-realizable scale: a pair of near-word-sized primes.
     scale = float(min(REDUCED_BOOT_SCALE_BITS, 2 * word_bits - 1))
     return scale, BOOT_DEPTH_SS + 2
+
+
+def boot_plan(word_bits: int) -> tuple[float, int]:
+    """Public accessor for the per-word bootstrapping plan.
+
+    Returns ``(boot_scale_bits, boot_depth)`` — consumed by the static
+    noise audit (:mod:`repro.check.wordlen_audit`) so its word-length
+    sweep uses exactly the bootstrapping scales the chains are built
+    with.
+    """
+    return _boot_plan(word_bits)
+
+
+def native_scale_bits(word_bits: int) -> float:
+    """Largest single-prime (SS) normal scale a word length can host.
+
+    An SS prime near ``2**s`` needs ``s + 1 <= word_bits``: the sweep
+    scale of the word-length audit (36-bit words run the paper's 35-bit
+    robust scale; 28-bit words are forced down to 2^27 — the explosion
+    regime of Table 2).
+    """
+    return float(word_bits - 1)
 
 
 def _build_group(

@@ -24,10 +24,28 @@ import numpy as np
 from repro.ckks.noise import NoiseModel, NoisyEvaluator, NoisyVector
 from repro.workloads.datasets import BinaryImages
 
-__all__ = ["HelrResult", "train_plain", "train_noisy", "accuracy"]
+__all__ = [
+    "HelrResult",
+    "train_plain",
+    "train_noisy",
+    "accuracy",
+    "sigmoid_neg",
+    "HELR_ITERATIONS",
+    "HELR_BOOT_EVERY",
+    "HELR_FEATURES",
+    "HELR_MESSAGE_RATIO",
+]
 
 SIGMOID_DEGREE = 7
 SIGMOID_INTERVAL = (-12.0, 12.0)
+# Structural constants shared by the empirical path and the static
+# noise program (repro.workloads.noise_programs): the paper's 32
+# training iterations on 14x14 images, bootstrapping every other
+# iteration, with the default q0/scale stable range.
+HELR_ITERATIONS = 32
+HELR_BOOT_EVERY = 2
+HELR_FEATURES = 196  # 14 * 14
+HELR_MESSAGE_RATIO = 8.0
 # Low scales destabilize training: the compounding relative rescale
 # error biases the weight magnitude outward each iteration until the
 # weights leave the bootstrap's stable range and wrap — the trajectory
@@ -41,6 +59,16 @@ INSTABILITY_GAIN = 118.0
 
 def _sigmoid(t):
     return 1.0 / (1.0 + np.exp(-t))
+
+
+def sigmoid_neg(t):
+    """``sigma(-t)``: the function HELR's Chebyshev interpolant fits.
+
+    Module-level (not a lambda) so the static noise pass can
+    characterize the *same* fitted polynomial the noisy executor
+    evaluates.
+    """
+    return _sigmoid(-t)
 
 
 def accuracy(weights: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
@@ -58,7 +86,7 @@ class HelrResult:
 
 def train_plain(
     data: BinaryImages,
-    iterations: int = 32,
+    iterations: int = HELR_ITERATIONS,
     batch: int = 1024,
     lr: float = 1.0,
     seed: int = 0,
@@ -82,10 +110,10 @@ def train_noisy(
     data: BinaryImages,
     scale_bits: float,
     boot_scale_bits: float = 62.0,
-    iterations: int = 32,
+    iterations: int = HELR_ITERATIONS,
     batch: int = 1024,
     lr: float = 1.0,
-    boot_every: int = 2,
+    boot_every: int = HELR_BOOT_EVERY,
     seed: int = 0,
 ) -> HelrResult:
     """Encrypted training under the calibrated noise executor.
@@ -98,7 +126,7 @@ def train_noisy(
     the paper's low-scale explosions (Fig. 1's 2^27 curve).
     """
     model = NoiseModel(scale_bits, boot_scale_bits)
-    ev = NoisyEvaluator(model, seed=seed + 17)
+    ev = NoisyEvaluator(model, seed=seed + 17, message_ratio=HELR_MESSAGE_RATIO)
     rng = np.random.default_rng(seed)
     w = ev.encrypt(np.zeros(data.features))
     accs = []
@@ -116,7 +144,7 @@ def train_noisy(
         # sigma(-margin) via the fitted degree-7 Chebyshev sigmoid.
         sig = ev.poly_eval(
             margins,
-            lambda t: _sigmoid(-t),
+            sigmoid_neg,
             SIGMOID_DEGREE,
             SIGMOID_INTERVAL,
             depth_ops=3,

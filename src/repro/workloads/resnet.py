@@ -29,15 +29,36 @@ import numpy as np
 from repro.ckks.noise import NoiseModel, NoisyEvaluator, NoisyVector
 from repro.workloads.datasets import MultiClassImages
 
-__all__ = ["SmallResNet", "train_plain_cnn", "noisy_inference", "ResnetResult"]
+__all__ = [
+    "SmallResNet",
+    "train_plain_cnn",
+    "noisy_inference",
+    "ResnetResult",
+    "relu",
+    "RESNET_ACT_LAYERS",
+    "RESNET_MESSAGE_RATIO",
+]
 
 RELU_DEGREE = 27
 RELU_INTERVAL = (-8.0, 8.0)
 INSTABILITY_GAIN = 2250.0  # absorbs the real ResNet-20 depth ratio (see docstring)
+# Structural constants shared by the empirical path and the static
+# noise program: four polynomial-activation layers (each applying the
+# squared per-layer drift) bootstrapped at the wide stable range.
+RESNET_ACT_LAYERS = 4
+RESNET_MESSAGE_RATIO = 16.0
 
 
-def _relu(x):
+def relu(x):
+    """The function the polynomial activation's interpolant fits.
+
+    Module-level and shared with the static noise pass so both
+    characterize the same fitted polynomial.
+    """
     return np.maximum(x, 0.0)
+
+
+_relu = relu  # backwards-compatible alias
 
 
 def _conv2d(x, w, b, stride=1):
@@ -188,7 +209,7 @@ def noisy_inference(
     the stable range) — the Table 2 ResNet-20 row's mechanics.
     """
     model = NoiseModel(scale_bits, boot_scale_bits)
-    ev = NoisyEvaluator(model, seed=seed, message_ratio=16.0)
+    ev = NoisyEvaluator(model, seed=seed, message_ratio=RESNET_MESSAGE_RATIO)
     x = data.test_x[:samples]
     y = data.test_y[:samples]
     drift = 1.0 + INSTABILITY_GAIN * model.relative_std

@@ -18,7 +18,28 @@ import numpy as np
 
 from repro.ckks.noise import NoiseModel, NoisyEvaluator, NoisyVector
 
-__all__ = ["SortResult", "noisy_bitonic_sort", "sort_error_sweep"]
+__all__ = [
+    "SortResult",
+    "noisy_bitonic_sort",
+    "sort_error_sweep",
+    "sign_stage",
+    "sort_stages",
+    "SORT_LOG2N",
+    "SORT_BOOT_EVERY",
+    "SORT_MESSAGE_RATIO",
+]
+
+# Structural constants shared by the empirical path and the static
+# noise program: the paper sorts 2^14 packed values (105 stages),
+# bootstrapping every 6 stages, at the wide q0/scale stable range.
+SORT_LOG2N = 14
+SORT_BOOT_EVERY = 6
+SORT_MESSAGE_RATIO = 16.0
+
+
+def sort_stages(k: int) -> int:
+    """Compare-exchange stage count of a bitonic sort of ``2**k`` values."""
+    return k * (k + 1) // 2
 
 # Compounding relative rescale error inflates the stored values a
 # little at every compare-exchange stage; across the 105 stages this
@@ -36,8 +57,17 @@ SIGN_DEGREE = 23
 SIGN_STAGES = [(-1.6, 1.6), (-1.02, 1.02), (-1.02, 1.02), (-1.02, 1.02)]
 
 
-def _sign_stage(t):
+def sign_stage(t):
+    """One stage of the composite sign polynomial's target function.
+
+    Module-level (not a lambda) so the static noise pass can
+    characterize the *same* fitted stage polynomials the noisy
+    executor evaluates.
+    """
     return np.tanh(9.0 * t)
+
+
+_sign_stage = sign_stage  # backwards-compatible alias
 
 
 @dataclass
@@ -51,7 +81,7 @@ def noisy_bitonic_sort(
     values: np.ndarray,
     scale_bits: float,
     boot_scale_bits: float = 62.0,
-    boot_every: int = 6,
+    boot_every: int = SORT_BOOT_EVERY,
     seed: int = 0,
 ) -> SortResult:
     """Bitonic sort under the calibrated noise executor.
@@ -66,7 +96,7 @@ def noisy_bitonic_sort(
     if 1 << k != n:
         raise ValueError("length must be a power of two")
     model = NoiseModel(scale_bits, boot_scale_bits)
-    ev = NoisyEvaluator(model, seed=seed, message_ratio=16.0)
+    ev = NoisyEvaluator(model, seed=seed, message_ratio=SORT_MESSAGE_RATIO)
     ct = ev.encrypt(values)
     stage = 0
     for phase in range(1, k + 1):
@@ -102,7 +132,7 @@ def noisy_bitonic_sort(
 def sort_error_sweep(
     scales,
     boot_scales,
-    n: int = 1 << 14,
+    n: int = 1 << SORT_LOG2N,
     seed: int = 0,
 ) -> dict:
     """Table 2's sorting row: max error per (scale, boot scale) pair."""

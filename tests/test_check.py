@@ -299,13 +299,14 @@ class TestCkksDiagnostics:
 class TestMutationCorpus:
     def test_corpus_is_broad(self, setting):
         corpus = build_corpus(setting)
-        assert len(corpus) >= 15
+        assert len(corpus) >= 20
         assert {c.kind for c in corpus} == {
             "ssa",
             "level",
             "schedule",
             "ckks",
             "bounds",
+            "noise",
         }
 
     def test_every_mutation_is_caught(self, setting):
