@@ -267,6 +267,16 @@ def main(argv=None) -> int:
         )
     print(f"\nwrote {args.out}")
 
+    # The kernel mulmod path must never lose to the object path, at any
+    # size — this is the bar the split-regime product restored at small n.
+    mm = next(r for r in results if r["op"] == "mulmod")
+    if mm["speedup"] < 1.0:
+        print(
+            f"FAIL: mulmod kernel at {mm['speedup']:.2f}x the object path "
+            f"(n={mm['n']}) — the kernel path must never be slower"
+        )
+        return 1
+
     ntt = next(r for r in results if r["op"] == "ntt_forward")
     if not args.quick and ntt["speedup"] < 5.0:
         print(f"FAIL: NTT speedup {ntt['speedup']:.1f}x below the 5x acceptance bar")

@@ -1,0 +1,159 @@
+"""Service-level throughput/latency of the serve subsystem (PR 6).
+
+Runs an in-process :class:`repro.serve.server.FheServer` and measures
+the online phase end to end — wire encode, admission verification,
+batching, scheduled execution, egress re-encryption — at target batch
+sizes 1, 4, and 16, recording request throughput, client-observed
+latency percentiles, SIMD occupancy, and how much of each request the
+static admission pass costs (the verify-overhead column: the price of
+never burning an NTT on a doomed job).
+
+Results land in ``BENCH_serve.json`` (a CI artifact).
+
+Run directly (not under pytest):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.serve.client import FheClient
+from repro.serve.offline import ServeOffline
+from repro.serve.program import EvalProgram, ProgramBuilder
+from repro.serve.server import FheServer
+
+WORD_BITS = 36
+LANE_WIDTH = 4
+
+
+def _program() -> EvalProgram:
+    b = ProgramBuilder("bench_poly")
+    x = b.input
+    half = b.multiply_scalar(b.square(x), 0.5)
+    return b.build(b.add_matched(half, x))
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _bench_batch(
+    offline: ServeOffline, batch: int, rounds: int
+) -> dict[str, object]:
+    window = 0.001 if batch == 1 else 0.5
+    server = FheServer(offline=offline, batch_window=window, max_batch=batch)
+    await server.start()
+    program = _program()
+    values = [0.5, -0.25, 0.125, 0.75]
+    try:
+        clients = [
+            FheClient("127.0.0.1", server.port, seed=1000 * batch + i)
+            for i in range(batch)
+        ]
+        await asyncio.gather(
+            *(c.enroll(WORD_BITS, width=LANE_WIDTH) for c in clients)
+        )
+
+        latencies: list[float] = []
+        batch_sizes: list[int] = []
+
+        async def one(client: FheClient) -> None:
+            t0 = time.perf_counter()
+            res = await client.submit(program, values)
+            latencies.append(time.perf_counter() - t0)
+            batch_sizes.append(int(res.meta["batch_size"]))
+
+        # Warmup round (builds rotation keys etc.), untimed.
+        await asyncio.gather(*(one(c) for c in clients))
+        latencies.clear()
+        batch_sizes.clear()
+        verify_before = server.metrics.verify_seconds_total
+
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            await asyncio.gather(*(one(c) for c in clients))
+        wall = time.perf_counter() - t0
+
+        jobs = batch * rounds
+        verify_total = server.metrics.verify_seconds_total - verify_before
+        occupancies = server.metrics.occupancies
+        await asyncio.gather(*(c.close() for c in clients))
+        return {
+            "target_batch": batch,
+            "achieved_batch_mean": sum(batch_sizes) / len(batch_sizes),
+            "jobs": jobs,
+            "req_per_sec": jobs / wall,
+            "latency_p50_ms": _percentile(latencies, 0.50) * 1e3,
+            "latency_p95_ms": _percentile(latencies, 0.95) * 1e3,
+            "mean_occupancy": sum(occupancies) / len(occupancies),
+            "verify_ms_per_job": verify_total / jobs * 1e3,
+            "verify_overhead_frac": verify_total / wall,
+        }
+    finally:
+        await server.close()
+
+
+async def _run(quick: bool) -> dict[str, object]:
+    batches = [1, 4] if quick else [1, 4, 16]
+    rounds = 2 if quick else 4
+    offline = ServeOffline(seed=7777)
+    preset = offline.preset(WORD_BITS)
+    rows = []
+    for batch in batches:
+        row = await _bench_batch(offline, batch, rounds)
+        rows.append(row)
+        print(
+            f"batch {row['target_batch']:>2} "
+            f"(achieved {row['achieved_batch_mean']:.1f}): "
+            f"{row['req_per_sec']:6.2f} req/s, "
+            f"p50 {row['latency_p50_ms']:7.1f} ms, "
+            f"p95 {row['latency_p95_ms']:7.1f} ms, "
+            f"occupancy {row['mean_occupancy']:.3f}, "
+            f"verify {row['verify_ms_per_job']:.2f} ms/job "
+            f"({row['verify_overhead_frac'] * 100:.2f}% of wall)"
+        )
+    return {
+        "bench": "serve",
+        "mode": "quick" if quick else "full",
+        "word_bits": WORD_BITS,
+        "degree": preset.params.degree,
+        "slots": preset.slots,
+        "lane_width": LANE_WIDTH,
+        "program": _program().name,
+        "rows": rows,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    args = parser.parse_args()
+    payload = asyncio.run(_run(args.quick))
+    out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    # Sanity gate: larger batches must not lower throughput — that is
+    # the whole point of slot-packing.
+    rows = payload["rows"]
+    assert isinstance(rows, list)
+    if len(rows) >= 2 and rows[-1]["req_per_sec"] < rows[0]["req_per_sec"]:
+        print(
+            f"FAIL: batching made throughput worse "
+            f"({rows[-1]['req_per_sec']:.2f} < {rows[0]['req_per_sec']:.2f} req/s)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

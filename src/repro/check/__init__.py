@@ -21,6 +21,7 @@ Five passes, none of which execute any encryption:
 seeded violations that must all be caught.
 """
 
+from repro.check.admission import AdmissionVerdict, admit_program
 from repro.check.bounds import (
     BoundCertificate,
     BoundProof,
@@ -63,6 +64,8 @@ from repro.check.wordlen_audit import (
 )
 
 __all__ = [
+    "AdmissionVerdict",
+    "admit_program",
     "BoundCertificate",
     "BoundProof",
     "BoundStep",

@@ -36,6 +36,7 @@ __all__ = [
     "prove_inverse_butterfly",
     "prove_barrett_reduction",
     "prove_variable_product",
+    "prove_narrow_split_mul",
     "prove_bconv_accumulator",
     "prove_ds_reconstruction",
     "certify_word_bits",
@@ -207,6 +208,35 @@ def prove_variable_product(q_max: int) -> BoundProof:
     return BoundProof("kernel_variable_mul", q_max, steps)
 
 
+def prove_narrow_split_mul(q_max: int) -> BoundProof:
+    """``ModulusKernel.mul``, split regime (``q < 2**42``).
+
+    One operand splits at ``SPLIT_SHIFT`` bits: ``b = b1 * 2**s + b0``.
+    The partial ``a * b1`` must fit uint64 before its lazy Barrett
+    reduction, and the recombination ``(r1 << s) + a * b0`` (with
+    ``r1 < 2q``) must fit again before the final canonical reduction.
+    The kernel only takes this path below ``NARROW_SPLIT_LIMIT``, so the
+    walk is clamped there — wider words use the 128-bit chain instead.
+    """
+    q = min(q_max, kernels.NARROW_SPLIT_LIMIT - 1)
+    s = kernels.SPLIT_SHIFT
+    a = q - 1
+    b1 = (q - 1) >> s
+    b0 = (1 << s) - 1
+    r1 = 2 * q - 1  # lazy Barrett remainder of a * b1
+    steps = (
+        BoundStep(
+            f"split precondition: q < 2**{kernels.NARROW_SPLIT_BITS}",
+            q,
+            kernels.NARROW_SPLIT_LIMIT - 1,
+        ),
+        BoundStep("a * b1 (high partial)", a * b1, U64_MAX),
+        BoundStep("r1 = reduce64_lazy(a * b1) < 2q", r1, U64_MAX),
+        BoundStep(f"(r1 << {s}) + a * b0", (r1 << s) + a * b0, U64_MAX),
+    )
+    return BoundProof("kernel_split_mul", q_max, steps)
+
+
 def prove_bconv_accumulator(
     q_max: int, terms: int = DEFAULT_BCONV_TERMS
 ) -> BoundProof:
@@ -279,6 +309,7 @@ def certify_word_bits(
         prove_inverse_butterfly(q_max),
         prove_barrett_reduction(q_max),
         prove_variable_product(q_max),
+        prove_narrow_split_mul(q_max),
         prove_bconv_accumulator(q_max, terms=bconv_terms),
         prove_ds_reconstruction(1 << _boot_pair_product_bits(word_bits)),
     )

@@ -142,6 +142,48 @@ class CkksParams:
     def log_pq(self) -> float:
         return self.log_q + sum(math.log2(p) for p in self.aux_primes)
 
+    # -- serialization hooks (used by repro.serve.wire) ----------------------
+
+    def to_spec(self) -> dict[str, object]:
+        """A JSON-able description that round-trips through ``from_spec``.
+
+        Carries the realized primes, so a peer reconstructs the exact
+        parameter set without re-running the prime search.
+        """
+        return {
+            "degree": self.degree,
+            "slots": self.slots,
+            "scale_bits": self.scale_bits,
+            "base_primes": list(self.base_primes),
+            "steps": [list(s.primes) for s in self.steps],
+            "aux_primes": list(self.aux_primes),
+            "dnum": self.dnum,
+            "hamming_weight": self.hamming_weight,
+            "sigma": self.sigma,
+            "boot_levels": self.boot_levels,
+            "boot_scale_bits": self.boot_scale_bits,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "CkksParams":
+        steps = tuple(
+            LevelStep(tuple(int(p) for p in primes)) for primes in spec["steps"]
+        )
+        boot_scale = spec["boot_scale_bits"]
+        return cls(
+            degree=int(spec["degree"]),
+            slots=int(spec["slots"]),
+            scale_bits=float(spec["scale_bits"]),
+            base_primes=tuple(int(p) for p in spec["base_primes"]),
+            steps=steps,
+            aux_primes=tuple(int(p) for p in spec["aux_primes"]),
+            dnum=int(spec["dnum"]),
+            hamming_weight=int(spec["hamming_weight"]),
+            sigma=float(spec["sigma"]),
+            boot_levels=int(spec["boot_levels"]),
+            boot_scale_bits=None if boot_scale is None else float(boot_scale),
+        )
+
 
 def _steps_for_scale(
     two_n: int,
@@ -266,6 +308,7 @@ class KeySet:
         self.secret_coeffs = self._sample_secret()
         self._secret_cache: dict[tuple[int, ...], RnsPolynomial] = {}
         self._evk_cache: dict[object, list[tuple[RnsPolynomial, RnsPolynomial]]] = {}
+        self._public_key: tuple[RnsPolynomial, RnsPolynomial] | None = None
         # Digit selectors g_j as big ints over the full Q.
         q_primes = params.q_primes
         q_big = math.prod(q_primes)
@@ -348,6 +391,77 @@ class KeySet:
             s_g = self.secret_poly(basis).automorphism(galois)
             self._evk_cache[key] = self._make_evk(s_g)
         return self._evk_cache[key]
+
+    # -- public-key material (the repro.serve key ceremony) ----------------------
+
+    def public_key(self) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """RLWE public key ``(b, a) = (-a*s + e, a)`` over the full basis.
+
+        Limb-wise restriction to any prefix of the basis stays a valid
+        public key, so one key serves every level and the extended
+        key-switching basis alike.
+        """
+        if self._public_key is None:
+            basis = self.params.full_basis
+            s = self.secret_poly(basis)
+            a = self.uniform_poly(basis)
+            e = self.error_poly(basis)
+            self._public_key = (-(a * s) + e, a)
+        return self._public_key
+
+    def ephemeral_poly(self, moduli: tuple[int, ...]) -> RnsPolynomial:
+        """Fresh ternary encryption randomness (same shape as a secret)."""
+        n = self.params.degree
+        h = self.params.hamming_weight
+        coeffs = np.zeros(n, dtype=np.int64)
+        idx = self.rng.choice(n, size=h, replace=False)
+        coeffs[idx] = self.rng.choice((-1, 1), size=h)
+        return RnsPolynomial.from_int_coeffs(self.ring, moduli, coeffs).to_ntt()
+
+    def pk_encrypt_poly(
+        self,
+        msg: RnsPolynomial,
+        pk: tuple[RnsPolynomial, RnsPolynomial],
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Encrypt an NTT-form polynomial under someone else's public key.
+
+        ``(c0, c1) = (v*pk_b + e0 + msg, v*pk_a + e1)`` satisfies
+        ``c0 + c1*s = v*e + e0 + e1*s + msg`` — the same contract a
+        key-switching digit has, just with slightly more noise.  ``msg``
+        may live on any prefix of the public key's basis.
+        """
+        moduli = msg.moduli
+        pk_b, pk_a = pk
+        if pk_b.moduli[: len(moduli)] != moduli:
+            raise ValueError("message basis is not a prefix of the public key basis")
+        keep = range(len(moduli))
+        b = pk_b.keep_limbs(keep)
+        a = pk_a.keep_limbs(keep)
+        v = self.ephemeral_poly(moduli)
+        e0 = self.error_poly(moduli)
+        e1 = self.error_poly(moduli)
+        return (b * v + e0 + msg, a * v + e1)
+
+    def make_switch_key(
+        self, target_pk: tuple[RnsPolynomial, RnsPolynomial]
+    ) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
+        """Key-switching key from *this* secret to a public key's owner.
+
+        Each hybrid digit ``P * g_j * s`` is public-key-encrypted under
+        ``target_pk``, so neither party ever sees the other's secret —
+        the proxy-re-encryption ceremony ``repro.serve`` uses to move
+        tenant ciphertexts onto a shared batch key and back.
+        """
+        params = self.params
+        basis = params.full_basis
+        src = self.secret_poly(basis)
+        p_big = params.aux_product
+        digits = []
+        for g_j in self._g:
+            factor = p_big * g_j
+            msg = src.scalar_mul([factor % q for q in basis])
+            digits.append(self.pk_encrypt_poly(msg, target_pk))
+        return digits
 
 
 class CkksContext:

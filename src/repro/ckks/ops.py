@@ -274,3 +274,22 @@ class Evaluator:
         c1 = ct.c1.automorphism(galois)
         u0, u1 = self.switcher.switch(c1, self.context.keys.galois_key(galois))
         return Ciphertext(c0 + u0, u1, ct.level, ct.scale)
+
+    # -- re-encryption ----------------------------------------------------------------
+
+    def apply_switch_key(
+        self,
+        ct: Ciphertext,
+        evk: list[tuple[RnsPolynomial, RnsPolynomial]],
+    ) -> Ciphertext:
+        """Re-encrypt under the secret ``evk`` switches to.
+
+        ``evk`` is a hybrid digit list from ``KeySet.make_switch_key``
+        (or ``_make_evk``): switching ``c1`` yields ``(u0, u1)`` with
+        ``u0 + u1*s_dst ~ c1*s_src``, so ``(c0 + u0, u1)`` decrypts to
+        the same message under the destination secret.  This is the
+        tenant-key <-> batch-key move of the ``repro.serve`` ingress and
+        egress paths.
+        """
+        u0, u1 = self.switcher.switch(ct.c1, evk)
+        return Ciphertext(ct.c0 + u0, u1, ct.level, ct.scale)

@@ -57,6 +57,7 @@ __all__ = [
     "STC_DEPTH",
     "boot_plan",
     "native_scale_bits",
+    "negotiate_word_bits",
 ]
 
 WORD_LENGTHS = (28, 32, 36, 40, 44, 48, 52, 56, 60, 64)
@@ -386,6 +387,29 @@ def _supportable_scale(
     # DS path: need `levels` distinct pairs.
     min_bits = min_ds_scale_bits(two_n, levels, word_bits)
     return float(max(min_bits, requested_bits))
+
+
+def negotiate_word_bits(
+    requested_bits: int,
+    supported: tuple[int, ...] = WORD_LENGTHS,
+) -> int:
+    """Smallest supported machine word at least ``requested_bits`` wide.
+
+    The ``repro.serve`` offline phase negotiates each tenant's parameter
+    preset through this: a tenant states the narrowest word it will
+    accept (a proxy for its precision demand — the native scale is
+    ``word_bits - 1``), and the service answers with the cheapest preset
+    it actually hosts.  Raises ``ValueError`` when no supported word is
+    wide enough, so impossible demands fail at negotiation time rather
+    than at admission time.
+    """
+    for bits in sorted(supported):
+        if bits >= requested_bits:
+            return bits
+    raise ValueError(
+        f"no supported word length >= {requested_bits} bits "
+        f"(supported: {tuple(sorted(supported))})"
+    )
 
 
 def build_native_ckks_params(

@@ -58,6 +58,9 @@ def _wrapping(fn):
 __all__ = [
     "FAST_MODULUS_BITS",
     "FAST_MODULUS_LIMIT",
+    "NARROW_SPLIT_BITS",
+    "NARROW_SPLIT_LIMIT",
+    "SPLIT_SHIFT",
     "mul_hi",
     "mul_wide",
     "add_mod",
@@ -73,8 +76,21 @@ __all__ = [
 FAST_MODULUS_BITS = 62
 FAST_MODULUS_LIMIT = 1 << FAST_MODULUS_BITS
 
+# Moduli below 2**42 admit a cheaper variable product than the full
+# 128-bit decomposition: split one operand at SPLIT_SHIFT bits, fold the
+# high part through lazy Barrett, and recombine — two vector multiplies
+# and two reductions instead of the four-partial-product mul_wide.  The
+# bound chain (`repro.check.bounds.prove_narrow_split_mul`):
+#   a * b_hi  <= (2**42 - 1) * (2**22 - 1)          < 2**64
+#   (r1 << SPLIT_SHIFT) + a * b_lo < 2q * 2**20 + q * 2**20 < 2**64
+NARROW_SPLIT_BITS = 42
+NARROW_SPLIT_LIMIT = 1 << NARROW_SPLIT_BITS
+SPLIT_SHIFT = 20
+
 _MASK32 = np.uint64(0xFFFFFFFF)
 _U32 = np.uint64(32)
+_SPLIT_SHIFT = np.uint64(SPLIT_SHIFT)
+_SPLIT_MASK = np.uint64((1 << SPLIT_SHIFT) - 1)
 
 
 @_wrapping
@@ -196,6 +212,7 @@ class ModulusKernel:
                 )
         self.moduli = mods
         self.narrow = max(mods) < (1 << 31)
+        self.split = max(mods) < NARROW_SPLIT_LIMIT
 
         def col(vals):
             arr = np.array(vals, dtype=np.uint64)
@@ -241,13 +258,23 @@ class ModulusKernel:
     def mul(self, a, b) -> np.ndarray:
         """Variable x variable modular product, exact for ``q < 2**62``.
 
-        The 128-bit product splits as ``hi * 2**64 + lo``; the high half
-        folds through the constant ``2**64 mod q`` (Shoup), the low half
-        through Barrett, and both lazy halves share one final reduction.
+        Three regimes, fastest applicable wins:
+
+        * ``q < 2**31`` — both residues fit 32 bits, plain numpy.
+        * ``q < 2**42`` — split ``b`` at ``SPLIT_SHIFT``; the high part
+          folds through lazy Barrett before recombining, so no 128-bit
+          emulation is needed (SHARP's 36-bit primes land here).
+        * otherwise — full 128-bit product: the high half folds through
+          the constant ``2**64 mod q`` (Shoup), the low half through
+          Barrett, and both lazy halves share one final reduction.
         """
         if self.narrow:
             return (a * b) % self.q
-        hi, lo = mul_wide(a, b)
+        if self.split:
+            r1 = self.reduce64_lazy(a * (b >> _SPLIT_SHIFT))
+            return self.reduce64((r1 << _SPLIT_SHIFT) + a * (b & _SPLIT_MASK))
+        hi = mul_hi(a, b)
+        lo = a * b  # wraps mod 2**64 == the low product half
         t = shoup_mul_lazy(hi, self.r64, self.r64_shoup, self.q)
         u = self.reduce64_lazy(lo)
         s = t + u  # < 4q < 2**64

@@ -1,0 +1,169 @@
+"""The offline phase: presets, key material, parameter negotiation.
+
+Everything here happens once per tenant (or once per preset), before
+any job is submitted:
+
+1. the client asks for a word length; the server answers with the
+   smallest supported preset that covers it
+   (:func:`repro.params.presets.negotiate_word_bits`) and ships the
+   full parameter spec plus the batch public key;
+2. the client builds its own :class:`~repro.ckks.context.CkksContext`
+   from the spec (the tenant secret is sampled client-side and never
+   serialized), then sends back its public key and ``evk_in`` — the
+   tenant-to-batch switch key, pk-encrypted under the *batch* public
+   key so the client needs no server secrets to make it;
+3. the server completes the pair with ``evk_out`` (batch-to-tenant,
+   made under the tenant's public key) and opens the session.
+
+Presets are built lazily and cached: a server that only ever sees
+36-bit tenants never pays for the 62-bit modulus chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.check.ckks_check import AbstractParams
+from repro.check.noise_check import NoiseParams
+from repro.params.presets import negotiate_word_bits
+from repro.serve.session import SwitchKey, TenantSession
+
+if TYPE_CHECKING:
+    from repro.ckks.context import CkksContext, CkksParams
+    from repro.ckks.ops import Evaluator
+    from repro.rns.poly import RnsPolynomial
+
+__all__ = [
+    "SERVE_WORD_LENGTHS",
+    "SERVE_DEGREE",
+    "SERVE_DEPTH",
+    "ServePreset",
+    "ServeOffline",
+    "TenantKeys",
+]
+
+# The service catalogue: every word length the paper's robustness sweep
+# proves out, at a ring small enough for interactive latency.
+SERVE_WORD_LENGTHS: tuple[int, ...] = (28, 36, 50, 62)
+SERVE_DEGREE = 1 << 11
+SERVE_DEPTH = 4
+
+
+@dataclass
+class ServePreset:
+    """One lazily-built word-length tier of the service."""
+
+    word_bits: int
+    params: "CkksParams"
+    context: "CkksContext"  # holds the shared batch secret
+    evaluator: "Evaluator"
+    abstract: AbstractParams
+    noise: NoiseParams
+
+    @classmethod
+    def build(cls, word_bits: int, seed: int) -> "ServePreset":
+        from repro.ckks.context import CkksContext
+        from repro.ckks.ops import Evaluator
+        from repro.params.presets import boot_plan, build_native_ckks_params
+
+        params = build_native_ckks_params(
+            word_bits, degree=SERVE_DEGREE, depth=SERVE_DEPTH
+        )
+        context = CkksContext(params, seed=seed)
+        boot_scale, _ = boot_plan(word_bits)
+        return cls(
+            word_bits=word_bits,
+            params=params,
+            context=context,
+            evaluator=Evaluator(context),
+            abstract=AbstractParams.from_params(params),
+            noise=NoiseParams(
+                scale_bits=float(params.scale_bits),
+                boot_scale_bits=boot_scale,
+                word_bits=word_bits,
+            ),
+        )
+
+    @property
+    def slots(self) -> int:
+        return self.params.slots
+
+    def batch_public_key(self) -> tuple["RnsPolynomial", "RnsPolynomial"]:
+        return self.context.keys.public_key()
+
+
+class ServeOffline:
+    """The server's offline state: preset cache plus enrollment."""
+
+    def __init__(
+        self,
+        word_lengths: tuple[int, ...] = SERVE_WORD_LENGTHS,
+        seed: int = 2023,
+    ):
+        self.word_lengths = tuple(sorted(word_lengths))
+        self.seed = seed
+        self._presets: dict[int, ServePreset] = {}
+
+    def negotiate(self, requested_bits: int) -> int:
+        """Smallest catalogued word length covering the request."""
+        return negotiate_word_bits(requested_bits, supported=self.word_lengths)
+
+    def preset(self, word_bits: int) -> ServePreset:
+        if word_bits not in self.word_lengths:
+            raise ValueError(
+                f"word length {word_bits} is not in the catalogue "
+                f"{self.word_lengths}"
+            )
+        if word_bits not in self._presets:
+            # Distinct seed per preset so batch secrets never repeat
+            # across tiers.
+            self._presets[word_bits] = ServePreset.build(
+                word_bits, seed=self.seed + word_bits
+            )
+        return self._presets[word_bits]
+
+    def enroll(
+        self,
+        word_bits: int,
+        width: int,
+        tenant_pk: tuple["RnsPolynomial", "RnsPolynomial"],
+        evk_in: SwitchKey,
+    ) -> TenantSession:
+        """Finish the ceremony server-side and open the session."""
+        preset = self.preset(word_bits)
+        if width < 1 or width > preset.slots:
+            raise ValueError(
+                f"lane width {width} out of range [1, {preset.slots}]"
+            )
+        evk_out = preset.context.keys.make_switch_key(tenant_pk)
+        return TenantSession(
+            session_id=TenantSession.fresh_id(),
+            word_bits=word_bits,
+            width=width,
+            tenant_pk=tenant_pk,
+            evk_in=evk_in,
+            evk_out=evk_out,
+        )
+
+
+@dataclass
+class TenantKeys:
+    """Client-side product of the offline ceremony (see module doc)."""
+
+    context: "CkksContext"
+    evk_in: SwitchKey = field(repr=False, default_factory=list)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: dict[str, object],
+        batch_pk: tuple["RnsPolynomial", "RnsPolynomial"],
+        seed: int,
+    ) -> "TenantKeys":
+        from repro.ckks.context import CkksContext, CkksParams
+
+        params = CkksParams.from_spec(spec)
+        context = CkksContext(params, seed=seed)
+        evk_in = context.keys.make_switch_key(batch_pk)
+        return cls(context=context, evk_in=evk_in)

@@ -1,0 +1,455 @@
+"""The portable evaluator-program IR clients submit to the service.
+
+A submitted job is *code*, not data: a straight-line SSA program over
+the CKKS evaluator ops of Table 1.  The same program object drives four
+interpreters, which is the property the admission pipeline rests on:
+
+* :meth:`EvalProgram.run_symbolic` — the ``(level, scale)`` abstract
+  domain of :mod:`repro.check.ckks_check`;
+* :meth:`EvalProgram.run_noise` — the noise-budget domain of
+  :mod:`repro.check.noise_check`;
+* :meth:`EvalProgram.lower_to_trace` — an SSA-annotated
+  :class:`repro.hw.isa.Trace` for :func:`repro.sched.schedule_trace`;
+* :meth:`EvalProgram.run_concrete` — the real
+  :class:`repro.ckks.ops.Evaluator`, executed only after the static
+  interpreters admitted the job.
+
+Programs are single-input (one packed message vector per request —
+the unit the slot-packing batcher multiplexes), single-output, and
+must be dead-code-free; :meth:`EvalProgram.validate` enforces the SSA
+discipline so a malformed program is rejected before any interpreter
+runs.  ``to_json``/``from_json`` round-trip the IR over the wire, and
+:meth:`EvalProgram.digest` names it content-addressably — jobs with
+equal digests run the same SIMD program and may share a batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:
+    from repro.check.ckks_check import AbstractCiphertext, SymbolicEvaluator
+    from repro.check.noise_check import NoiseCheckEvaluator, NoiseState
+    from repro.ckks.cipher import Ciphertext
+    from repro.ckks.ops import Evaluator
+    from repro.hw.isa import Trace
+    from repro.params.presets import WordLengthSetting
+
+__all__ = ["ProgramError", "ProgramOp", "EvalProgram", "ProgramBuilder"]
+
+
+class ProgramError(ValueError):
+    """A structurally invalid program (bad SSA, unknown op, bad arity)."""
+
+
+# kind -> number of ciphertext operands
+ARITY: Mapping[str, int] = {
+    "add": 2,
+    "sub": 2,
+    "add_matched": 2,
+    "sub_matched": 2,
+    "multiply": 2,
+    "square": 1,
+    "negate": 1,
+    "multiply_scalar": 1,
+    "add_scalar": 1,
+    "rotate": 1,
+    "conjugate": 1,
+    "consume_level": 1,
+}
+_VALUE_KINDS = frozenset({"multiply_scalar", "add_scalar"})
+_AMOUNT_KINDS = frozenset({"rotate"})
+_ROTATION_KINDS = frozenset({"rotate", "conjugate"})
+# Ops that consume one level (fused rescale) in the lowered trace.  The
+# matched additive ops reconcile operand scales via ``Evaluator.match``,
+# which spends a level only when both operands sit at the same level
+# with drifted scales — the lowering charges the worst case.
+_LEVEL_KINDS = frozenset(
+    {"multiply", "square", "multiply_scalar", "consume_level", "add_matched", "sub_matched"}
+)
+
+
+@dataclass(frozen=True)
+class ProgramOp:
+    """One SSA evaluator call: ``dst = kind(*srcs, value?, amount?)``."""
+
+    kind: str
+    dst: str
+    srcs: tuple[str, ...]
+    value: complex | None = None  # multiply_scalar / add_scalar constant
+    amount: int | None = None  # rotate slot count
+
+    def to_dict(self) -> dict[str, object]:
+        value: list[float] | None = None
+        if self.value is not None:
+            value = [float(self.value.real), float(self.value.imag)]
+        return {
+            "kind": self.kind,
+            "dst": self.dst,
+            "srcs": list(self.srcs),
+            "value": value,
+            "amount": self.amount,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "ProgramOp":
+        raw_value = raw.get("value")
+        value: complex | None = None
+        if raw_value is not None:
+            re, im = raw_value  # type: ignore[misc]
+            value = complex(float(re), float(im))
+        raw_amount = raw.get("amount")
+        return cls(
+            kind=str(raw["kind"]),
+            dst=str(raw["dst"]),
+            srcs=tuple(str(s) for s in raw["srcs"]),  # type: ignore[union-attr]
+            value=value,
+            amount=None if raw_amount is None else int(raw_amount),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class EvalProgram:
+    """A validated straight-line SSA program over one input ciphertext."""
+
+    name: str
+    ops: tuple[ProgramOp, ...]
+    input: str = "in"
+    output: str = "out"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- structure -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """SSA discipline: reject before any interpreter ever runs."""
+        if not self.ops:
+            raise ProgramError("program has no ops")
+        defined: set[str] = {self.input}
+        used: set[str] = set()
+        for i, op in enumerate(self.ops):
+            arity = ARITY.get(op.kind)
+            if arity is None:
+                raise ProgramError(f"op {i}: unknown kind {op.kind!r}")
+            if len(op.srcs) != arity:
+                raise ProgramError(
+                    f"op {i} ({op.kind}): expected {arity} operands, "
+                    f"got {len(op.srcs)}"
+                )
+            for src in op.srcs:
+                if src not in defined:
+                    raise ProgramError(f"op {i} ({op.kind}): undefined value {src!r}")
+                used.add(src)
+            if op.dst in defined:
+                raise ProgramError(f"op {i} ({op.kind}): redefines {op.dst!r}")
+            if (op.value is not None) != (op.kind in _VALUE_KINDS):
+                raise ProgramError(
+                    f"op {i} ({op.kind}): scalar value "
+                    f"{'missing' if op.value is None else 'not allowed'}"
+                )
+            if (op.amount is not None) != (op.kind in _AMOUNT_KINDS):
+                raise ProgramError(
+                    f"op {i} ({op.kind}): rotation amount "
+                    f"{'missing' if op.amount is None else 'not allowed'}"
+                )
+            defined.add(op.dst)
+        if self.output not in defined:
+            raise ProgramError(f"output {self.output!r} is never defined")
+        used.add(self.output)
+        for op in self.ops:
+            if op.dst not in used:
+                raise ProgramError(f"dead value {op.dst!r} (defined, never used)")
+
+    @property
+    def uses_rotation(self) -> bool:
+        """Rotating programs cross slot-lane boundaries, so the batcher
+        must run them exclusively (a shared ciphertext would leak slots
+        between tenants)."""
+        return any(op.kind in _ROTATION_KINDS for op in self.ops)
+
+    @property
+    def multiplicative_depth(self) -> int:
+        """Levels the deepest path consumes (fused-rescale ops only)."""
+        depth: dict[str, int] = {self.input: 0}
+        for op in self.ops:
+            cost = 1 if op.kind in _LEVEL_KINDS else 0
+            depth[op.dst] = max(depth[s] for s in op.srcs) + cost
+        return depth[self.output]
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "name": self.name,
+            "input": self.input,
+            "output": self.output,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvalProgram":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProgramError(f"program payload is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ProgramError("program payload must be a JSON object")
+        try:
+            ops = tuple(ProgramOp.from_dict(o) for o in raw["ops"])
+            return cls(
+                name=str(raw["name"]),
+                ops=ops,
+                input=str(raw["input"]),
+                output=str(raw["output"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ProgramError):
+                raise
+            raise ProgramError(f"malformed program payload: {exc}") from exc
+
+    def digest(self) -> str:
+        """Content address (sha256 of the canonical JSON form)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    # -- interpreters ----------------------------------------------------------
+
+    def run_symbolic(self, ev: "SymbolicEvaluator") -> "AbstractCiphertext":
+        """Drive the ``(level, scale)`` checker; diagnostics land in its report."""
+        env: dict[str, AbstractCiphertext] = {self.input: ev.fresh()}
+        for op in self.ops:
+            a = env[op.srcs[0]]
+            if op.kind == "add":
+                out = ev.add(a, env[op.srcs[1]])
+            elif op.kind == "sub":
+                out = ev.sub(a, env[op.srcs[1]])
+            elif op.kind == "add_matched":
+                a2, b2 = ev.match(a, env[op.srcs[1]])
+                out = ev.add(a2, b2)
+            elif op.kind == "sub_matched":
+                a2, b2 = ev.match(a, env[op.srcs[1]])
+                out = ev.sub(a2, b2)
+            elif op.kind == "multiply":
+                out = ev.multiply(a, env[op.srcs[1]])
+            elif op.kind == "square":
+                out = ev.square(a)
+            elif op.kind == "negate":
+                out = ev.negate(a)
+            elif op.kind == "multiply_scalar":
+                out = ev.multiply_scalar(a)
+            elif op.kind == "add_scalar":
+                out = ev.add_plain(a)
+            elif op.kind == "rotate":
+                out = ev.rotate(a, op.amount if op.amount is not None else 1)
+            elif op.kind == "conjugate":
+                out = ev.conjugate(a)
+            else:  # consume_level
+                out = ev.consume_level(a)
+            env[op.dst] = out
+        return env[self.output]
+
+    def run_noise(self, ev: "NoiseCheckEvaluator", mag: float = 1.0) -> "NoiseState":
+        """Drive the noise-domain checker.
+
+        Noise-domain approximations: ``negate`` is noise-free (sign
+        flips move no energy), scalar ops charge ``multiply_plain`` /
+        ``add_plain`` with the constant's magnitude, and ``conjugate``
+        costs one key switch exactly like a rotation.
+        """
+        env: dict[str, NoiseState] = {self.input: ev.encrypt(mag=mag)}
+        for op in self.ops:
+            a = env[op.srcs[0]]
+            if op.kind == "add":
+                out = ev.add(a, env[op.srcs[1]])
+            elif op.kind == "sub":
+                out = ev.sub(a, env[op.srcs[1]])
+            elif op.kind in ("add_matched", "sub_matched"):
+                # The match's scale correction is one plaintext multiply
+                # on the adjusted operand.
+                out = ev.add(ev.multiply_plain(a, pt_mag=1.0), env[op.srcs[1]])
+            elif op.kind == "multiply":
+                out = ev.multiply(a, env[op.srcs[1]])
+            elif op.kind == "square":
+                out = ev.multiply(a, a)
+            elif op.kind == "negate":
+                out = a
+            elif op.kind == "multiply_scalar":
+                assert op.value is not None
+                out = ev.multiply_scalar(a, abs(op.value))
+            elif op.kind == "add_scalar":
+                assert op.value is not None
+                out = ev.add_plain(a, pt_mag=abs(op.value))
+            elif op.kind in ("rotate", "conjugate"):
+                out = ev.rotate(a)
+            else:  # consume_level
+                out = ev.multiply_plain(a, pt_mag=1.0)
+            env[op.dst] = out
+        return env[self.output]
+
+    def run_concrete(self, ev: "Evaluator", ct_in: "Ciphertext") -> "Ciphertext":
+        """Execute on ciphertext — only reachable through admission."""
+        env: dict[str, Ciphertext] = {self.input: ct_in}
+        for op in self.ops:
+            a = env[op.srcs[0]]
+            if op.kind == "add":
+                out = ev.add(a, env[op.srcs[1]])
+            elif op.kind == "sub":
+                out = ev.sub(a, env[op.srcs[1]])
+            elif op.kind == "add_matched":
+                a2, b2 = ev.match(a, env[op.srcs[1]])
+                out = ev.add(a2, b2)
+            elif op.kind == "sub_matched":
+                a2, b2 = ev.match(a, env[op.srcs[1]])
+                out = ev.sub(a2, b2)
+            elif op.kind == "multiply":
+                out = ev.multiply(a, env[op.srcs[1]])
+            elif op.kind == "square":
+                out = ev.square(a)
+            elif op.kind == "negate":
+                out = ev.negate(a)
+            elif op.kind == "multiply_scalar":
+                assert op.value is not None
+                out = ev.multiply_scalar(a, op.value)
+            elif op.kind == "add_scalar":
+                assert op.value is not None
+                out = ev.add_scalar(a, op.value)
+            elif op.kind == "rotate":
+                out = ev.rotate(a, op.amount if op.amount is not None else 1)
+            elif op.kind == "conjugate":
+                out = ev.conjugate(a)
+            else:  # consume_level
+                out = ev.consume_level(a)
+            env[op.dst] = out
+        return env[self.output]
+
+    def lower_to_trace(self, setting: "WordLengthSetting") -> "Trace":
+        """An SSA-annotated HE-op trace for the scheduler.
+
+        Values start at the setting's full normal-level budget; ops with
+        a fused rescale drop one level's worth of limbs.  Mixed-level
+        operands take the shallower operand's chain position (the
+        implicit align/mod-drop the trace checker permits).
+        """
+        from repro.hw.isa import HeOp, OpKind, Trace
+
+        normal = setting.group("normal")
+        base = setting.base_prime_count
+        ppl = normal.primes_per_level
+        depth = self.multiplicative_depth
+        if depth > normal.levels:
+            raise ProgramError(
+                f"program depth {depth} exceeds the setting's "
+                f"{normal.levels} normal levels"
+            )
+
+        kind_map = {
+            "add": OpKind.HADD,
+            "sub": OpKind.HADD,
+            # Matched adds may spend a plaintext multiply on the scale
+            # correction — PMADD with a worst-case level drop.
+            "add_matched": OpKind.PMADD,
+            "sub_matched": OpKind.PMADD,
+            "add_scalar": OpKind.HADD,
+            "multiply": OpKind.HMULT,
+            "square": OpKind.HMULT,
+            "multiply_scalar": OpKind.PMULT,
+            "consume_level": OpKind.PMULT,
+            "negate": OpKind.PMULT,
+            "rotate": OpKind.HROT,
+            "conjugate": OpKind.CONJ,
+        }
+        level: dict[str, int] = {self.input: normal.levels}
+        ops: list[HeOp] = []
+        for op in self.ops:
+            lvl = min(level[s] for s in op.srcs)
+            limbs = base + lvl * ppl
+            consumes = 1 if op.kind in _LEVEL_KINDS else 0
+            key_id: str | None = None
+            if op.kind in ("multiply", "square"):
+                key_id = "mult"
+            elif op.kind == "rotate":
+                key_id = f"rot_{op.amount}"
+            elif op.kind == "conjugate":
+                key_id = "conj"
+            ops.append(
+                HeOp(
+                    kind_map[op.kind],
+                    limbs,
+                    drop=ppl * consumes,
+                    key_id=key_id,
+                    dst=op.dst,
+                    srcs=op.srcs,
+                )
+            )
+            level[op.dst] = lvl - consumes
+        return Trace(name=f"serve_{self.name}_{self.digest()[:12]}", ops=ops)
+
+
+@dataclass
+class ProgramBuilder:
+    """Convenience SSA builder so clients don't hand-number values."""
+
+    name: str
+    input: str = "in"
+    _counter: int = 0
+    _ops: list[ProgramOp] = field(default_factory=list)
+
+    def _fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"v{self._counter}_{hint}"
+
+    def _emit(
+        self,
+        kind: str,
+        srcs: tuple[str, ...],
+        value: complex | None = None,
+        amount: int | None = None,
+    ) -> str:
+        dst = self._fresh(kind)
+        self._ops.append(ProgramOp(kind, dst, srcs, value=value, amount=amount))
+        return dst
+
+    def add(self, a: str, b: str) -> str:
+        return self._emit("add", (a, b))
+
+    def sub(self, a: str, b: str) -> str:
+        return self._emit("sub", (a, b))
+
+    def add_matched(self, a: str, b: str) -> str:
+        return self._emit("add_matched", (a, b))
+
+    def sub_matched(self, a: str, b: str) -> str:
+        return self._emit("sub_matched", (a, b))
+
+    def multiply(self, a: str, b: str) -> str:
+        return self._emit("multiply", (a, b))
+
+    def square(self, a: str) -> str:
+        return self._emit("square", (a,))
+
+    def negate(self, a: str) -> str:
+        return self._emit("negate", (a,))
+
+    def multiply_scalar(self, a: str, value: complex) -> str:
+        return self._emit("multiply_scalar", (a,), value=complex(value))
+
+    def add_scalar(self, a: str, value: complex) -> str:
+        return self._emit("add_scalar", (a,), value=complex(value))
+
+    def rotate(self, a: str, amount: int) -> str:
+        return self._emit("rotate", (a,), amount=amount)
+
+    def conjugate(self, a: str) -> str:
+        return self._emit("conjugate", (a,))
+
+    def consume_level(self, a: str) -> str:
+        return self._emit("consume_level", (a,))
+
+    def build(self, output: str) -> EvalProgram:
+        return EvalProgram(
+            name=self.name, ops=tuple(self._ops), input=self.input, output=output
+        )

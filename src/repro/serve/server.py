@@ -1,0 +1,563 @@
+"""The online phase: an asyncio FHE service with verified admission.
+
+Request lifecycle (the load-bearing design point is step 3):
+
+1. **enroll** — the connection runs the offline ceremony of
+   :mod:`repro.serve.offline` and gets a :class:`TenantSession`;
+2. **submit** — a ``JOB`` frame carries the program IR plus one
+   ciphertext encrypted under the tenant's own key;
+3. **admit** — the program, wrapped in the batching pipeline's fixed
+   overhead (:func:`repro.serve.batching.service_wrapped`), runs
+   through the static passes of :mod:`repro.check.admission`.  A
+   rejected job is answered from the verdict's diagnostic codes and
+   *never reaches the engine*: the rejection path executes zero
+   evaluator operations, zero NTTs — the server's compute stays
+   reserved for jobs that are proven to succeed;
+4. **batch** — admitted jobs wait up to ``batch_window`` seconds for
+   lane-mates with the same ``(word_bits, program digest)`` batch key,
+   then :func:`repro.serve.batching.plan_batches` packs them;
+5. **execute** — the program body is lowered to an HE-op trace,
+   scheduled by :func:`repro.sched.schedule_trace` against the
+   configured on-chip capacity, and the evaluator walks the scheduled
+   op order; ingress/egress key switches bridge tenant and batch keys;
+6. **respond** — each tenant gets its masked lane back under its own
+   key, with per-request metrics (queue wait, verify time, execute
+   time, batch occupancy) echoed in the result metadata and aggregated
+   behind the ``STATS`` endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.check.admission import AdmissionVerdict, admit_program
+from repro.serve import wire
+from repro.serve.batching import BatchJob, BatchPlan, plan_batches, service_wrapped
+from repro.serve.offline import ServeOffline, ServePreset
+from repro.serve.program import EvalProgram, ProgramError
+from repro.serve.session import TenantSession
+
+if TYPE_CHECKING:
+    from repro.ckks.cipher import Ciphertext
+
+__all__ = ["FheServer", "ServerMetrics"]
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class ServerMetrics:
+    """Aggregated online-phase counters (the ``STATS`` payload)."""
+
+    jobs_submitted: int = 0
+    jobs_admitted: int = 0
+    jobs_rejected: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    engine_invocations: int = 0  # evaluator ops run for job execution
+    batches_executed: int = 0
+    verify_seconds_total: float = 0.0
+    queue_wait: list[float] = field(default_factory=list)
+    execute_seconds: list[float] = field(default_factory=list)
+    total_latency: list[float] = field(default_factory=list)
+    occupancies: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        mean_occ = (
+            sum(self.occupancies) / len(self.occupancies) if self.occupancies else 0.0
+        )
+        return {
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "admitted": self.jobs_admitted,
+                "rejected": self.jobs_rejected,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+            },
+            "engine_invocations": self.engine_invocations,
+            "batches_executed": self.batches_executed,
+            "verify_seconds_total": self.verify_seconds_total,
+            "latency_p50_s": _percentile(self.total_latency, 0.50),
+            "latency_p95_s": _percentile(self.total_latency, 0.95),
+            "queue_wait_p50_s": _percentile(self.queue_wait, 0.50),
+            "execute_p50_s": _percentile(self.execute_seconds, 0.50),
+            "mean_batch_occupancy": mean_occ,
+        }
+
+
+@dataclass
+class _PendingJob:
+    """An admitted job waiting for the batch worker."""
+
+    word_bits: int
+    job: BatchJob
+    verdict: AdmissionVerdict
+    future: "asyncio.Future[tuple[Ciphertext, dict[str, Any]]]"
+    enqueued_at: float
+    submitted_at: float
+
+
+class FheServer:
+    """Multi-tenant CKKS service over the :mod:`repro.serve.wire` protocol."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        offline: ServeOffline | None = None,
+        batch_window: float = 0.05,
+        max_batch: int = 16,
+        min_floor_bits: float = 1.0,
+    ):
+        self.host = host
+        self.port = port
+        self.offline = offline if offline is not None else ServeOffline()
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.min_floor_bits = min_floor_bits
+        self.metrics = ServerMetrics()
+        self.sessions: dict[str, TenantSession] = {}
+        self._queue: asyncio.Queue[_PendingJob] = asyncio.Queue()
+        self._server: asyncio.AbstractServer | None = None
+        self._worker: asyncio.Task[None] | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        self._worker = asyncio.get_running_loop().create_task(self._batch_worker())
+
+    async def close(self) -> None:
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            session, preset = await self._enroll(reader, writer)
+            if session is None or preset is None:
+                return
+            while True:
+                try:
+                    kind, payload = await wire.read_frame(reader)
+                except asyncio.IncompleteReadError:
+                    break  # clean hang-up
+                if kind == wire.Kind.BYE:
+                    break
+                if kind == wire.Kind.STATS_REQUEST:
+                    wire.write_frame(
+                        writer, wire.Kind.STATS, wire.encode_json(self.stats())
+                    )
+                    await writer.drain()
+                    continue
+                if kind == wire.Kind.JOB:
+                    await self._handle_job(session, preset, payload, writer)
+                    continue
+                self._send_error(writer, f"unexpected frame {kind.name} mid-session")
+                await writer.drain()
+        except wire.WireError as exc:
+            self._send_error(writer, str(exc))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _enroll(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> tuple[TenantSession | None, ServePreset | None]:
+        kind, payload = await wire.read_frame(reader)
+        if kind != wire.Kind.HELLO:
+            self._send_error(writer, f"expected HELLO, got {kind.name}")
+            await writer.drain()
+            return None, None
+        hello = wire.decode_json(payload)
+        try:
+            requested = int(hello["requested_bits"])  # type: ignore[arg-type]
+            width = int(hello["width"])  # type: ignore[arg-type]
+            word_bits = self.offline.negotiate(requested)
+            preset = self.offline.preset(word_bits)
+            if width < 1 or width > preset.slots:
+                raise ValueError(
+                    f"lane width {width} out of range [1, {preset.slots}]"
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send_error(writer, f"negotiation failed: {exc}")
+            await writer.drain()
+            return None, None
+
+        wire.write_frame(
+            writer,
+            wire.Kind.PARAMS,
+            wire.encode_json(
+                {
+                    "word_bits": word_bits,
+                    "slots": preset.slots,
+                    "scale_bits": float(preset.params.scale_bits),
+                    "spec": preset.params.to_spec(),
+                }
+            ),
+        )
+        wire.write_frame(
+            writer,
+            wire.Kind.PUBLIC_KEY,
+            wire.encode_public_key(preset.batch_public_key()),
+        )
+        await writer.drain()
+
+        ring = preset.context.ring
+        kind, payload = await wire.read_frame(reader)
+        if kind != wire.Kind.PUBLIC_KEY:
+            self._send_error(writer, f"expected PUBLIC_KEY, got {kind.name}")
+            await writer.drain()
+            return None, None
+        tenant_pk = wire.decode_public_key(payload, ring)
+        kind, payload = await wire.read_frame(reader)
+        if kind != wire.Kind.SWITCH_KEY:
+            self._send_error(writer, f"expected SWITCH_KEY, got {kind.name}")
+            await writer.drain()
+            return None, None
+        evk_in = wire.decode_switch_key(payload, ring)
+
+        session = self.offline.enroll(word_bits, width, tenant_pk, evk_in)
+        self.sessions[session.session_id] = session
+        wire.write_frame(
+            writer,
+            wire.Kind.ENROLLED,
+            wire.encode_json(
+                {
+                    "session_id": session.session_id,
+                    "word_bits": word_bits,
+                    "width": width,
+                    "slots": preset.slots,
+                }
+            ),
+        )
+        await writer.drain()
+        return session, preset
+
+    async def _handle_job(
+        self,
+        session: TenantSession,
+        preset: ServePreset,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        submitted_at = time.perf_counter()
+        self.metrics.jobs_submitted += 1
+        session.jobs_submitted += 1
+        job_id = session.next_job_id()
+
+        blobs = wire.decode_blobs(payload)
+        if len(blobs) != 3:
+            self._send_error(writer, f"JOB frame needs 3 blobs, got {len(blobs)}")
+            await writer.drain()
+            return
+        _meta, program_blob, ct_blob = blobs
+        program = wire.decode_program(program_blob)
+
+        # Admission: static verification of the program as the batching
+        # pipeline will actually run it.  Nothing past this point
+        # executes unless every pass is clean.
+        try:
+            wrapped = service_wrapped(program)
+        except ProgramError as exc:
+            self.metrics.jobs_rejected += 1
+            session.jobs_rejected += 1
+            self._send_rejection(writer, job_id, ["PROGRAM-INVALID"], str(exc))
+            await writer.drain()
+            return
+        verdict = admit_program(
+            wrapped.run_symbolic,
+            preset.abstract,
+            noise_program=wrapped.run_noise,
+            noise_params=preset.noise,
+            min_floor_bits=self.min_floor_bits,
+            label=job_id,
+        )
+        self.metrics.verify_seconds_total += verdict.verify_seconds
+        if not verdict.admitted:
+            self.metrics.jobs_rejected += 1
+            session.jobs_rejected += 1
+            wire.write_frame(
+                writer,
+                wire.Kind.ERROR,
+                wire.encode_json(
+                    {
+                        "job_id": job_id,
+                        "error": "admission rejected",
+                        "verdict": verdict.to_dict(),
+                    }
+                ),
+            )
+            await writer.drain()
+            return
+
+        # Only now is the ciphertext worth decoding.
+        ct_in = wire.decode_ciphertext(ct_blob, preset.context.ring)
+        self.metrics.jobs_admitted += 1
+        session.jobs_admitted += 1
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[tuple[Ciphertext, dict[str, Any]]] = loop.create_future()
+        pending = _PendingJob(
+            word_bits=session.word_bits,
+            job=BatchJob(
+                job_id=job_id, session=session, program=program, ciphertext=ct_in
+            ),
+            verdict=verdict,
+            future=future,
+            enqueued_at=time.perf_counter(),
+            submitted_at=submitted_at,
+        )
+        await self._queue.put(pending)
+        try:
+            ct_out, meta = await future
+        except Exception as exc:  # noqa: BLE001 - surfaced to the tenant
+            self.metrics.jobs_failed += 1
+            self._send_rejection(writer, job_id, ["EXEC-FAILED"], str(exc))
+            await writer.drain()
+            return
+        total = time.perf_counter() - submitted_at
+        self.metrics.jobs_completed += 1
+        self.metrics.total_latency.append(total)
+        meta = dict(meta)
+        meta.update(
+            {
+                "job_id": job_id,
+                "verify_seconds": verdict.verify_seconds,
+                "proven_floor_bits": verdict.proven_floor_bits,
+                "total_seconds": total,
+            }
+        )
+        wire.write_frame(
+            writer,
+            wire.Kind.RESULT,
+            wire.encode_blobs(
+                [wire.encode_json(meta), wire.encode_ciphertext(ct_out)]
+            ),
+        )
+        await writer.drain()
+
+    # -- batching and execution ----------------------------------------------
+
+    async def _batch_worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            by_word: dict[int, list[_PendingJob]] = {}
+            for item in batch:
+                by_word.setdefault(item.word_bits, []).append(item)
+            for word_bits, items in by_word.items():
+                preset = self.offline.preset(word_bits)
+                plans = plan_batches(
+                    [(word_bits, item.job) for item in items],
+                    preset.slots,
+                    self.max_batch,
+                )
+                lookup = {item.job.job_id: item for item in items}
+                for plan in plans:
+                    self._run_plan(preset, plan, lookup)
+            # Yield so handlers can ship finished results promptly.
+            await asyncio.sleep(0)
+
+    def _run_plan(
+        self,
+        preset: ServePreset,
+        plan: BatchPlan,
+        lookup: dict[str, _PendingJob],
+    ) -> None:
+        t0 = time.perf_counter()
+        try:
+            outputs = self._execute_plan(preset, plan)
+        except Exception as exc:  # noqa: BLE001 - propagate per-job
+            for job in plan.jobs:
+                item = lookup[job.job_id]
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        execute_s = time.perf_counter() - t0
+        self.metrics.batches_executed += 1
+        self.metrics.execute_seconds.append(execute_s)
+        self.metrics.occupancies.append(plan.occupancy)
+        for job, ct_out in zip(plan.jobs, outputs):
+            item = lookup[job.job_id]
+            queue_wait = t0 - item.enqueued_at
+            self.metrics.queue_wait.append(queue_wait)
+            meta = {
+                "batch_size": plan.size,
+                "batch_occupancy": plan.occupancy,
+                "queue_wait_seconds": queue_wait,
+                "execute_seconds": execute_s,
+                "lane_offset": job.offset,
+                "lane_width": job.width,
+            }
+            if not item.future.done():
+                item.future.set_result((ct_out, meta))
+
+    def _execute_plan(
+        self, preset: ServePreset, plan: BatchPlan
+    ) -> list["Ciphertext"]:
+        """Ingress-switch, pack, run the scheduled trace, unpack-switch."""
+        ev = preset.evaluator
+
+        packed: Ciphertext | None = None
+        for job in plan.jobs:
+            ct = ev.apply_switch_key(job.ciphertext, job.session.evk_in)
+            self.metrics.engine_invocations += 1
+            if job.offset:
+                ct = ev.rotate(ct, -job.offset)
+                self.metrics.engine_invocations += 1
+            if packed is None:
+                packed = ct
+            else:
+                packed = ev.add(packed, ct)
+                self.metrics.engine_invocations += 1
+        assert packed is not None
+
+        out = self._execute_scheduled(preset, plan.program, packed)
+
+        results: list[Ciphertext] = []
+        for job in plan.jobs:
+            mask = [0.0] * preset.slots
+            for lane in range(job.offset, job.offset + job.width):
+                mask[lane] = 1.0
+            pt = preset.context.encode(mask, level=out.level)
+            lane_ct = ev.multiply_plain(out, pt)
+            self.metrics.engine_invocations += 1
+            if job.offset:
+                lane_ct = ev.rotate(lane_ct, job.offset)
+                self.metrics.engine_invocations += 1
+            lane_ct = ev.apply_switch_key(lane_ct, job.session.evk_out)
+            self.metrics.engine_invocations += 1
+            results.append(lane_ct)
+        return results
+
+    def _execute_scheduled(
+        self, preset: ServePreset, program: EvalProgram, packed: "Ciphertext"
+    ) -> "Ciphertext":
+        """Run the program body in the scheduler's op order.
+
+        The body is lowered to an HE-op trace and scheduled against the
+        configured on-chip capacity first — execution then walks the
+        scheduled op sequence, so the service exercises the same path
+        the accelerator model costs out.
+        """
+        from repro.core.config import sharp_config
+        from repro.params.presets import build_sharp_setting
+        from repro.sched import schedule_trace
+
+        setting = build_sharp_setting(preset.word_bits)
+        trace = program.lower_to_trace(setting)
+        scheduled = schedule_trace(
+            trace, setting, sharp_config().onchip_capacity_bytes
+        )
+        by_dst = {op.dst: op for op in program.ops}
+
+        ev = preset.evaluator
+        env: dict[str, Ciphertext] = {program.input: packed}
+        for hop in scheduled.ops:
+            assert hop.dst is not None
+            op = by_dst[hop.dst]
+            a = env[op.srcs[0]]
+            if op.kind == "add":
+                out = ev.add(a, env[op.srcs[1]])
+            elif op.kind == "sub":
+                out = ev.sub(a, env[op.srcs[1]])
+            elif op.kind == "add_matched":
+                a2, b2 = ev.match(a, env[op.srcs[1]])
+                out = ev.add(a2, b2)
+            elif op.kind == "sub_matched":
+                a2, b2 = ev.match(a, env[op.srcs[1]])
+                out = ev.sub(a2, b2)
+            elif op.kind == "multiply":
+                out = ev.multiply(a, env[op.srcs[1]])
+            elif op.kind == "square":
+                out = ev.square(a)
+            elif op.kind == "negate":
+                out = ev.negate(a)
+            elif op.kind == "multiply_scalar":
+                assert op.value is not None
+                out = ev.multiply_scalar(a, op.value)
+            elif op.kind == "add_scalar":
+                assert op.value is not None
+                out = ev.add_scalar(a, op.value)
+            elif op.kind == "rotate":
+                out = ev.rotate(a, op.amount if op.amount is not None else 1)
+            elif op.kind == "conjugate":
+                out = ev.conjugate(a)
+            else:  # consume_level
+                out = ev.consume_level(a)
+            env[op.dst] = out
+            self.metrics.engine_invocations += 1
+        return env[program.output]
+
+    # -- misc ----------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        payload = self.metrics.to_dict()
+        payload["sessions"] = len(self.sessions)
+        payload["presets_built"] = sorted(self.offline._presets)
+        return payload
+
+    def _send_error(self, writer: asyncio.StreamWriter, message: str) -> None:
+        wire.write_frame(
+            writer, wire.Kind.ERROR, wire.encode_json({"error": message})
+        )
+
+    def _send_rejection(
+        self,
+        writer: asyncio.StreamWriter,
+        job_id: str,
+        codes: list[str],
+        message: str,
+    ) -> None:
+        wire.write_frame(
+            writer,
+            wire.Kind.ERROR,
+            wire.encode_json(
+                {"job_id": job_id, "error": message, "codes": codes}
+            ),
+        )

@@ -1,0 +1,383 @@
+"""Versioned wire format: streaming ciphertext/key/program I/O.
+
+No serialization existed in :mod:`repro.ckks` before the service layer;
+this module defines it.  Every message is one *frame*:
+
+    +--------+---------+--------+--------------+----------------+
+    | b"SHRP" | version | kind   | payload_len  | payload bytes  |
+    |  4 B    |  u16    |  u16   |  u64         |  payload_len B |
+    +--------+---------+--------+--------------+----------------+
+
+(all little-endian).  A reader rejects — with :class:`WireError`, never
+a crash — bad magic, unknown versions, unknown kinds, truncated
+payloads, and oversized length claims, so a malformed peer cannot wedge
+the server loop.
+
+Payloads compose from two building blocks:
+
+* *blob sequences* — ``u32`` length-prefixed byte strings, used to
+  nest JSON metadata next to binary ciphertext in one frame;
+* *poly blocks* — an ``(limb_count, degree, ntt_flag)`` header, the
+  modulus chain as ``u64`` words, then the limb matrix verbatim; the
+  self-describing unit ciphertexts, public keys, and switch-key digit
+  lists are built from.
+
+Scales travel as IEEE doubles (they are floats in the library), limbs
+as canonical ``uint64`` residues; decode validates residue ranges so a
+hostile payload cannot smuggle non-canonical limbs past the kernels.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from enum import IntEnum
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.context import CkksParams
+from repro.rns.poly import RnsPolynomial
+from repro.serve.program import EvalProgram, ProgramError
+
+if TYPE_CHECKING:
+    import asyncio
+
+    from repro.rns.poly import RingContext
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "Kind",
+    "WireError",
+    "encode_frame",
+    "decode_frame",
+    "encode_blobs",
+    "decode_blobs",
+    "encode_json",
+    "decode_json",
+    "encode_poly",
+    "decode_poly",
+    "encode_ciphertext",
+    "decode_ciphertext",
+    "encode_public_key",
+    "decode_public_key",
+    "encode_switch_key",
+    "decode_switch_key",
+    "encode_params",
+    "decode_params",
+    "encode_program",
+    "decode_program",
+    "read_frame",
+    "write_frame",
+]
+
+MAGIC = b"SHRP"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQ")
+_BLOB_LEN = struct.Struct("<I")
+_POLY_HEADER = struct.Struct("<IIB")
+_CT_HEADER = struct.Struct("<Id")
+_KEY_COUNT = struct.Struct("<I")
+
+# A length claim past this is an attack or a bug, not a ciphertext.
+MAX_PAYLOAD_BYTES = 1 << 31
+
+
+class Kind(IntEnum):
+    """Frame kinds of protocol version 1."""
+
+    HELLO = 1  # client -> server: negotiation request (JSON)
+    PARAMS = 2  # server -> client: negotiated preset (JSON + spec)
+    PUBLIC_KEY = 3  # tenant public key (poly pair)
+    SWITCH_KEY = 4  # client -> server: evk tenant -> batch secret
+    ENROLLED = 5  # server -> client: session acknowledgement (JSON)
+    JOB = 6  # client -> server: [meta JSON, program JSON, ciphertext]
+    RESULT = 7  # server -> client: [meta JSON, ciphertext]
+    ERROR = 8  # server -> client: admission / protocol error (JSON)
+    STATS_REQUEST = 9  # client -> server: empty
+    STATS = 10  # server -> client: metrics (JSON)
+    BYE = 11  # client -> server: end of session (empty)
+
+
+class WireError(Exception):
+    """Malformed, truncated, or version-incompatible wire data."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(kind: Kind, payload: bytes = b"") -> bytes:
+    return _HEADER.pack(MAGIC, VERSION, int(kind), len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> tuple[Kind, bytes]:
+    """Decode one complete frame; rejects anything malformed."""
+    if len(data) < _HEADER.size:
+        raise WireError(f"truncated header: {len(data)} < {_HEADER.size} bytes")
+    magic, version, kind_raw, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version != VERSION:
+        raise WireError(f"unsupported wire version {version} (speak {VERSION})")
+    if length > MAX_PAYLOAD_BYTES:
+        raise WireError(f"payload length {length} exceeds the {MAX_PAYLOAD_BYTES} cap")
+    try:
+        kind = Kind(kind_raw)
+    except ValueError as exc:
+        raise WireError(f"unknown frame kind {kind_raw}") from exc
+    payload = data[_HEADER.size :]
+    if len(payload) != length:
+        raise WireError(
+            f"payload truncated: header claims {length} bytes, got {len(payload)}"
+        )
+    return kind, payload
+
+
+# -- blob sequences ----------------------------------------------------------
+
+
+def encode_blobs(blobs: Iterable[bytes]) -> bytes:
+    out = bytearray()
+    for blob in blobs:
+        out += _BLOB_LEN.pack(len(blob))
+        out += blob
+    return bytes(out)
+
+
+def decode_blobs(data: bytes) -> list[bytes]:
+    out: list[bytes] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _BLOB_LEN.size > len(data):
+            raise WireError("truncated blob length prefix")
+        (length,) = _BLOB_LEN.unpack_from(data, offset)
+        offset += _BLOB_LEN.size
+        if offset + length > len(data):
+            raise WireError(
+                f"truncated blob: {length} bytes claimed, "
+                f"{len(data) - offset} remain"
+            )
+        out.append(data[offset : offset + length])
+        offset += length
+    return out
+
+
+def encode_json(obj: object) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_json(data: bytes) -> dict[str, Any]:
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed JSON payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise WireError("JSON payload must be an object")
+    return obj
+
+
+# -- polynomial blocks -------------------------------------------------------
+
+
+def encode_poly(poly: RnsPolynomial) -> bytes:
+    limbs = np.ascontiguousarray(poly.limbs, dtype="<u8")
+    moduli = np.array(poly.moduli, dtype="<u8")
+    header = _POLY_HEADER.pack(
+        len(poly.moduli), poly.ring.degree, 1 if poly.ntt_form else 0
+    )
+    return header + moduli.tobytes() + limbs.tobytes()
+
+
+def _decode_poly_at(
+    data: bytes, offset: int, ring: "RingContext"
+) -> tuple[RnsPolynomial, int]:
+    if offset + _POLY_HEADER.size > len(data):
+        raise WireError("truncated poly header")
+    limb_count, degree, ntt_flag = _POLY_HEADER.unpack_from(data, offset)
+    offset += _POLY_HEADER.size
+    if degree != ring.degree:
+        raise WireError(f"poly degree {degree} != ring degree {ring.degree}")
+    if limb_count == 0 or limb_count > 4096:
+        raise WireError(f"implausible limb count {limb_count}")
+    mod_bytes = limb_count * 8
+    limb_bytes = limb_count * degree * 8
+    if offset + mod_bytes + limb_bytes > len(data):
+        raise WireError("truncated poly body")
+    moduli_arr = np.frombuffer(data, dtype="<u8", count=limb_count, offset=offset)
+    moduli = tuple(int(q) for q in moduli_arr)
+    offset += mod_bytes
+    limbs = (
+        np.frombuffer(data, dtype="<u8", count=limb_count * degree, offset=offset)
+        .reshape(limb_count, degree)
+        .astype(np.uint64)
+    )
+    offset += limb_bytes
+    for i, q in enumerate(moduli):
+        if q < 3:
+            raise WireError(f"limb {i}: implausible modulus {q}")
+        if int(limbs[i].max(initial=0)) >= q:
+            raise WireError(f"limb {i}: residue out of range for modulus {q}")
+    return RnsPolynomial(ring, moduli, limbs, ntt_form=bool(ntt_flag)), offset
+
+
+def decode_poly(data: bytes, ring: "RingContext") -> RnsPolynomial:
+    poly, offset = _decode_poly_at(data, 0, ring)
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes after poly")
+    return poly
+
+
+# -- ciphertexts and keys ----------------------------------------------------
+
+
+def encode_ciphertext(ct: Ciphertext) -> bytes:
+    return (
+        _CT_HEADER.pack(ct.level, float(ct.scale))
+        + encode_poly(ct.c0)
+        + encode_poly(ct.c1)
+    )
+
+
+def decode_ciphertext(data: bytes, ring: "RingContext") -> Ciphertext:
+    if len(data) < _CT_HEADER.size:
+        raise WireError("truncated ciphertext header")
+    level, scale = _CT_HEADER.unpack_from(data)
+    if level < 0 or not scale > 0:
+        raise WireError(f"implausible ciphertext state (level={level}, scale={scale})")
+    c0, offset = _decode_poly_at(data, _CT_HEADER.size, ring)
+    c1, offset = _decode_poly_at(data, offset, ring)
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes after ciphertext")
+    if c0.moduli != c1.moduli:
+        raise WireError("ciphertext halves disagree on the modulus chain")
+    return Ciphertext(c0, c1, int(level), float(scale))
+
+
+def encode_public_key(pk: tuple[RnsPolynomial, RnsPolynomial]) -> bytes:
+    return encode_poly(pk[0]) + encode_poly(pk[1])
+
+
+def decode_public_key(
+    data: bytes, ring: "RingContext"
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    b, offset = _decode_poly_at(data, 0, ring)
+    a, offset = _decode_poly_at(data, offset, ring)
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes after public key")
+    if b.moduli != a.moduli:
+        raise WireError("public key halves disagree on the modulus chain")
+    return (b, a)
+
+
+def encode_switch_key(
+    digits: list[tuple[RnsPolynomial, RnsPolynomial]],
+) -> bytes:
+    out = bytearray(_KEY_COUNT.pack(len(digits)))
+    for b_j, a_j in digits:
+        out += encode_poly(b_j)
+        out += encode_poly(a_j)
+    return bytes(out)
+
+
+def decode_switch_key(
+    data: bytes, ring: "RingContext"
+) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
+    if len(data) < _KEY_COUNT.size:
+        raise WireError("truncated switch-key digit count")
+    (count,) = _KEY_COUNT.unpack_from(data)
+    if count == 0 or count > 64:
+        raise WireError(f"implausible switch-key digit count {count}")
+    offset = _KEY_COUNT.size
+    digits: list[tuple[RnsPolynomial, RnsPolynomial]] = []
+    for _ in range(count):
+        b_j, offset = _decode_poly_at(data, offset, ring)
+        a_j, offset = _decode_poly_at(data, offset, ring)
+        digits.append((b_j, a_j))
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes after switch key")
+    return digits
+
+
+# -- parameters and programs -------------------------------------------------
+
+
+def encode_params(params: CkksParams) -> bytes:
+    return encode_json(params.to_spec())
+
+
+def decode_params(data: bytes) -> CkksParams:
+    spec = decode_json(data)
+    try:
+        return CkksParams.from_spec(spec)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed parameter spec: {exc}") from exc
+
+
+def encode_program(program: EvalProgram) -> bytes:
+    return program.to_json().encode("utf-8")
+
+
+def decode_program(data: bytes) -> EvalProgram:
+    try:
+        return EvalProgram.from_json(data.decode("utf-8"))
+    except UnicodeDecodeError as exc:
+        raise WireError(f"program payload is not UTF-8: {exc}") from exc
+    except ProgramError as exc:
+        raise WireError(f"invalid program: {exc}") from exc
+
+
+# -- stream I/O --------------------------------------------------------------
+
+
+async def read_frame(reader: "asyncio.StreamReader") -> tuple[Kind, bytes]:
+    """Read exactly one frame from an asyncio stream.
+
+    Raises :class:`WireError` on any protocol violation and
+    ``asyncio.IncompleteReadError`` only for a clean EOF before the
+    first header byte (so servers can tell hang-ups from attacks).
+    """
+    import asyncio
+
+    header = await reader.readexactly(_HEADER.size)
+    magic, version, kind_raw, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version != VERSION:
+        raise WireError(f"unsupported wire version {version} (speak {VERSION})")
+    if length > MAX_PAYLOAD_BYTES:
+        raise WireError(f"payload length {length} exceeds the {MAX_PAYLOAD_BYTES} cap")
+    try:
+        kind = Kind(kind_raw)
+    except ValueError as exc:
+        raise WireError(f"unknown frame kind {kind_raw}") from exc
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError(
+            f"payload truncated mid-frame: wanted {length} bytes, "
+            f"got {len(exc.partial)}"
+        ) from exc
+    return kind, payload
+
+
+def write_frame(
+    writer: "asyncio.StreamWriter", kind: Kind, payload: bytes = b""
+) -> None:
+    writer.write(encode_frame(kind, payload))
+
+
+def iter_frames(data: bytes) -> Iterator[tuple[Kind, bytes]]:
+    """Split a byte buffer holding back-to-back frames (sync helper)."""
+    offset = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            raise WireError("truncated header in frame stream")
+        _, _, _, length = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if end > len(data):
+            raise WireError("truncated frame in frame stream")
+        yield decode_frame(data[offset:end])
+        offset = end

@@ -1,0 +1,183 @@
+"""End-to-end serve tests: two tenants, one shared ciphertext.
+
+Exercises the whole tentpole path over real sockets: enrollment
+ceremony (distinct tenant keys), concurrent submission, SIMD
+slot-packing into a shared batch ciphertext, scheduled-trace execution,
+egress re-encryption, and the precision contract — each tenant decrypts
+within the floor the admission pass proved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+import numpy as np
+import pytest
+
+from repro.serve.client import FheClient, JobRejected
+from repro.serve.offline import ServeOffline
+from repro.serve.program import EvalProgram, ProgramBuilder
+from repro.serve.server import FheServer
+
+# One offline state for the whole module: presets are loop-independent
+# pure compute, and the 36-bit tier takes seconds to build.
+OFFLINE = ServeOffline(seed=4242)
+
+
+def _poly_program() -> EvalProgram:
+    b = ProgramBuilder("poly")
+    x = b.input
+    half = b.multiply_scalar(b.square(x), 0.5)
+    return b.build(b.add_matched(half, x))
+
+
+def _rotation_program() -> EvalProgram:
+    b = ProgramBuilder("rotsum")
+    x = b.input
+    return b.build(b.add(x, b.rotate(x, 1)))
+
+
+def _too_deep() -> EvalProgram:
+    b = ProgramBuilder("deep")
+    v = b.input
+    for _ in range(9):
+        v = b.square(v)
+    return b.build(v)
+
+
+def _run(scenario: Callable[[FheServer], Awaitable[None]], **server_kw: object) -> None:
+    async def runner() -> None:
+        server = FheServer(offline=OFFLINE, **server_kw)  # type: ignore[arg-type]
+        await server.start()
+        try:
+            await scenario(server)
+        finally:
+            await server.close()
+
+    asyncio.run(runner())
+
+
+class TestTwoTenantEndToEnd:
+    def test_concurrent_tenants_share_a_batch(self):
+        async def scenario(server: FheServer) -> None:
+            alice = FheClient("127.0.0.1", server.port, seed=11)
+            bob = FheClient("127.0.0.1", server.port, seed=22)
+            await asyncio.gather(
+                alice.enroll(36, width=4), bob.enroll(36, width=4)
+            )
+            assert alice.session_id != bob.session_id
+            assert alice.keys is not None and bob.keys is not None
+            # Distinct tenant keys: the secrets differ.
+            s_a = alice.keys.context.keys.secret_coeffs
+            s_b = bob.keys.context.keys.secret_coeffs
+            assert not np.array_equal(s_a, s_b)
+
+            program = _poly_program()
+            a_vals = [0.5, -0.25, 0.125, 0.75]
+            b_vals = [0.1, 0.2, 0.3, 0.4]
+            res_a, res_b = await asyncio.gather(
+                alice.submit(program, a_vals), bob.submit(program, b_vals)
+            )
+
+            # Both jobs ran in ONE shared ciphertext.
+            assert res_a.meta["batch_size"] == 2
+            assert res_b.meta["batch_size"] == 2
+            assert res_a.meta["lane_offset"] != res_b.meta["lane_offset"]
+            assert server.metrics.batches_executed == 1
+            expected_occ = 8 / server.offline.preset(36).slots
+            assert res_a.meta["batch_occupancy"] == pytest.approx(expected_occ)
+
+            # The precision contract: error within the proven floor.
+            for res, vals in ((res_a, a_vals), (res_b, b_vals)):
+                want = np.array([0.5 * v * v + v for v in vals])
+                err = float(np.abs(res.values[: len(vals)] - want).max())
+                floor = res.proven_floor_bits
+                assert floor is not None and floor > 0
+                assert err <= 2.0**-floor
+
+            await asyncio.gather(alice.close(), bob.close())
+
+        _run(scenario, batch_window=0.25)
+
+    def test_lane_isolation(self):
+        # Each tenant sees only its own lane values, not its batch
+        # neighbour's.
+        async def scenario(server: FheServer) -> None:
+            alice = FheClient("127.0.0.1", server.port, seed=31)
+            bob = FheClient("127.0.0.1", server.port, seed=32)
+            await asyncio.gather(alice.enroll(36, width=2), bob.enroll(36, width=2))
+            program = _poly_program()
+            res_a, res_b = await asyncio.gather(
+                alice.submit(program, [0.5, 0.5]), bob.submit(program, [-0.5, -0.5])
+            )
+            assert res_a.meta["batch_size"] == 2
+            a_out = 0.5 * 0.25 + 0.5
+            b_out = 0.5 * 0.25 - 0.5
+            assert np.allclose(res_a.values.real, a_out, atol=1e-4)
+            assert np.allclose(res_b.values.real, b_out, atol=1e-4)
+            await asyncio.gather(alice.close(), bob.close())
+
+        _run(scenario, batch_window=0.25)
+
+    def test_rotation_programs_run_exclusively(self):
+        async def scenario(server: FheServer) -> None:
+            alice = FheClient("127.0.0.1", server.port, seed=41)
+            bob = FheClient("127.0.0.1", server.port, seed=42)
+            await asyncio.gather(alice.enroll(36, width=2), bob.enroll(36, width=2))
+            program = _rotation_program()
+            res_a, res_b = await asyncio.gather(
+                alice.submit(program, [1.0, 2.0]), bob.submit(program, [3.0, 4.0])
+            )
+            # Same digest, but rotation crosses lanes: never batched.
+            assert res_a.meta["batch_size"] == 1
+            assert res_b.meta["batch_size"] == 1
+            assert server.metrics.batches_executed == 2
+            # x + rot(x): lane 0 becomes x0 + x1.
+            assert res_a.values[0].real == pytest.approx(3.0, abs=1e-3)
+            assert res_b.values[0].real == pytest.approx(7.0, abs=1e-3)
+            await asyncio.gather(alice.close(), bob.close())
+
+        _run(scenario, batch_window=0.25)
+
+    def test_rejection_midstream_then_recovery(self):
+        async def scenario(server: FheServer) -> None:
+            client = FheClient("127.0.0.1", server.port, seed=51)
+            await client.enroll(36, width=2)
+            with pytest.raises(JobRejected) as exc_info:
+                await client.submit(_too_deep(), [0.5, 0.5])
+            assert "CKKS-LEVEL-UNDERFLOW" in exc_info.value.codes
+            # The session survives a rejection.
+            res = await client.submit(_poly_program(), [0.5, 0.5])
+            assert res.meta["batch_size"] == 1
+            stats = await client.stats()
+            assert stats["jobs"]["rejected"] == 1
+            assert stats["jobs"]["completed"] == 1
+            await client.close()
+
+        _run(scenario, batch_window=0.01)
+
+    def test_negotiation_rounds_up(self):
+        async def scenario(server: FheServer) -> None:
+            client = FheClient("127.0.0.1", server.port, seed=61)
+            await client.enroll(30, width=2)  # 30 -> next tier, 36
+            assert client.word_bits == 36
+            await client.close()
+
+        _run(scenario, batch_window=0.01)
+
+    def test_stats_endpoint_shape(self):
+        async def scenario(server: FheServer) -> None:
+            client = FheClient("127.0.0.1", server.port, seed=71)
+            await client.enroll(36, width=2)
+            await client.submit(_poly_program(), [0.25, 0.5])
+            stats = await client.stats()
+            assert stats["sessions"] >= 1
+            assert stats["engine_invocations"] > 0
+            assert stats["jobs"]["submitted"] == stats["jobs"]["admitted"] == 1
+            for key in ("latency_p50_s", "latency_p95_s", "mean_batch_occupancy"):
+                assert isinstance(stats[key], float)
+            assert stats["verify_seconds_total"] > 0
+            await client.close()
+
+        _run(scenario, batch_window=0.01)

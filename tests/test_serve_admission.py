@@ -1,0 +1,152 @@
+"""Admission control: every bad program is rejected statically.
+
+The table drives the load-bearing claim of the serve subsystem: a
+malformed job is refused with the right diagnostic code *before* the
+engine runs — zero evaluator invocations, zero NTTs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.check import AbstractParams, NoiseParams, admit_program
+from repro.check.admission import AdmissionVerdict
+from repro.params.presets import boot_plan, build_native_ckks_params
+from repro.serve.batching import service_wrapped
+from repro.serve.client import FheClient, JobRejected
+from repro.serve.program import EvalProgram, ProgramBuilder
+from repro.serve.server import FheServer
+from repro.workloads.noise_programs import noise_programs
+
+# Mirrors the serve preset shape: depth-4 chain on real 36-bit primes
+# (real primes matter — a synthetic power-of-two chain has no RNS scale
+# drift, so the scale-mismatch rejection would never fire).
+PARAMS = AbstractParams.from_params(
+    build_native_ckks_params(36, degree=1 << 10, depth=4)
+)
+NOISE = NoiseParams(
+    scale_bits=35.0, boot_scale_bits=boot_plan(36)[0], word_bits=36
+)
+
+
+def _scale_mismatch() -> EvalProgram:
+    """Adds a squared (scale-drifted) branch with a plain ``add``."""
+    b = ProgramBuilder("scale_mismatch")
+    x = b.input
+    half = b.multiply_scalar(b.square(x), 0.5)
+    return b.build(b.add(half, b.consume_level(b.consume_level(x))))
+
+
+def _level_underflow(depth: int = 8) -> EvalProgram:
+    b = ProgramBuilder("too_deep")
+    v = b.input
+    for _ in range(depth):
+        v = b.square(v)
+    return b.build(v)
+
+
+def _well_formed() -> EvalProgram:
+    b = ProgramBuilder("poly")
+    x = b.input
+    half = b.multiply_scalar(b.square(x), 0.5)
+    return b.build(b.add_matched(half, x))
+
+
+class TestAdmissionTable:
+    def _admit(self, program: EvalProgram, **kwargs: object) -> AdmissionVerdict:
+        wrapped = service_wrapped(program)
+        return admit_program(
+            wrapped.run_symbolic,
+            PARAMS,
+            noise_program=wrapped.run_noise,
+            noise_params=NOISE,
+            label=program.name,
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    def test_well_formed_admitted(self):
+        verdict = self._admit(_well_formed())
+        assert verdict.admitted
+        assert verdict.error_codes == ()
+        assert verdict.proven_floor_bits is not None
+        assert verdict.proven_floor_bits > 0
+
+    def test_scale_mismatch_rejected(self):
+        verdict = self._admit(_scale_mismatch())
+        assert not verdict.admitted
+        assert "CKKS-SCALE-MISMATCH" in verdict.error_codes
+
+    def test_level_underflow_rejected(self):
+        verdict = self._admit(_level_underflow())
+        assert not verdict.admitted
+        assert "CKKS-LEVEL-UNDERFLOW" in verdict.error_codes
+
+    def test_exactly_full_depth_needs_egress_level(self):
+        # Depth 4 fits the raw chain but not the egress mask; the
+        # service wrapper must surface that *before* execution.
+        verdict = self._admit(_level_underflow(depth=4))
+        assert not verdict.admitted
+        assert "CKKS-LEVEL-UNDERFLOW" in verdict.error_codes
+
+    def test_noise_explosion_at_28_bits(self):
+        # The HELR workload's budget explodes at 28-bit words — the
+        # paper's robustness boundary, reproduced as a rejection.
+        helr = noise_programs()["helr"]
+        verdict = admit_program(
+            _well_formed().run_symbolic,
+            PARAMS,
+            noise_program=helr.build,
+            noise_params=NoiseParams(
+                scale_bits=27.0,
+                boot_scale_bits=boot_plan(28)[0],
+                word_bits=28,
+                message_ratio=helr.message_ratio,
+            ),
+            label="helr@28",
+        )
+        assert not verdict.admitted
+        assert "NOISE-EXPLOSION" in verdict.error_codes
+        assert verdict.noise is not None and verdict.noise.exploded
+
+    def test_floor_rule(self):
+        # Healthy program, but the negotiated floor demands more bits
+        # than it provably retains.
+        verdict = self._admit(_well_formed(), min_floor_bits=40.0)
+        assert not verdict.admitted
+        assert "NOISE-FLOOR" in verdict.error_codes
+
+    def test_verdict_is_machine_readable(self):
+        verdict = self._admit(_scale_mismatch())
+        payload = verdict.to_dict()
+        assert payload["admitted"] is False
+        assert "CKKS-SCALE-MISMATCH" in payload["error_codes"]
+        assert isinstance(payload["verify_seconds"], float)
+
+
+class TestRejectionBurnsNothing:
+    """Server-level: rejected jobs cost zero engine invocations."""
+
+    BAD_PROGRAMS = [_scale_mismatch, _level_underflow]
+
+    def test_rejections_execute_nothing(self):
+        async def scenario() -> None:
+            server = FheServer(batch_window=0.01)
+            await server.start()
+            try:
+                client = FheClient("127.0.0.1", server.port, seed=77)
+                await client.enroll(36, width=2)
+                for build in self.BAD_PROGRAMS:
+                    program = build()
+                    with pytest.raises(JobRejected) as exc_info:
+                        await client.submit(program, [0.1, 0.2])
+                    assert exc_info.value.codes  # codes always reported
+                assert server.metrics.engine_invocations == 0
+                assert server.metrics.jobs_rejected == len(self.BAD_PROGRAMS)
+                assert server.metrics.jobs_admitted == 0
+                await client.close()
+            finally:
+                await server.close()
+
+        asyncio.run(scenario())
