@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from fractions import Fraction
 
 from repro.check.diagnostics import CheckReport
 from repro.rns import kernels
@@ -37,6 +38,9 @@ __all__ = [
     "prove_barrett_reduction",
     "prove_variable_product",
     "prove_narrow_split_mul",
+    "prove_float_barrett",
+    "prove_float_qhat_shoup",
+    "prove_float_split_mul",
     "prove_bconv_accumulator",
     "prove_ds_reconstruction",
     "certify_word_bits",
@@ -237,6 +241,134 @@ def prove_narrow_split_mul(q_max: int) -> BoundProof:
     return BoundProof("kernel_split_mul", q_max, steps)
 
 
+def _float_window(q_max: int, upper: int) -> int:
+    """Clamp ``q_max`` into the float-lane window ``[2**14, upper)``.
+
+    The float-quotient kernels guard on this window at runtime
+    (``FLOAT_BARRETT_MIN <= q < FLOAT_QHAT_LIMIT``), so the walk is
+    proved over the window itself: moduli outside it take the exact
+    integer chains certified above.
+    """
+    return min(max(q_max, kernels.FLOAT_BARRETT_MIN), upper - 1)
+
+
+def prove_float_barrett(q_max: int) -> BoundProof:
+    """``reduce64_f_lazy``: float-quotient Barrett on any uint64 input.
+
+    The quotient estimate is ``trunc(RN(RN(x) * v64_f))`` with
+    ``v64_f = v64 * 2**-64`` and ``v64 = floor(2**64 / q)`` — exactly
+    representable below ``2**53``, which the window floor guarantees.
+    Three error sources bound the estimate against the true quotient
+    ``x / q``: rounding ``x`` to float64 and rounding the product (both
+    relative, bounded together by ``x/q * 2**-51`` with margin), plus
+    the downward-only truncation of ``2**64 / q`` to ``v64`` (under one
+    quotient unit).  Upward error below one and total error below two
+    pin the truncated estimate to ``[Q - 2, Q + 1]``, so the lazy
+    remainder lands in ``(-q, 3q)`` — exactly the span the min-trick
+    wrap fix ``min(r, r + q)`` repairs into ``[0, 3q)``.
+    """
+    q = _float_window(q_max, kernels.FLOAT_QHAT_LIMIT)
+    v64_floor = 2**64 // kernels.FLOAT_BARRETT_MIN
+    # Worst quotient over the whole window: x = 2**64 - 1 at the floor.
+    y_max = Fraction(U64_MAX, kernels.FLOAT_BARRETT_MIN)
+    scale = 1 << 53  # error steps in units of 2**-53 quotient units
+    up_err = math.ceil(y_max / 2**51 * scale)
+    total_err = up_err + scale  # + the < 1 downward v64 truncation bias
+    steps = (
+        BoundStep(
+            f"float window floor: q >= 2**{kernels.FLOAT_BARRETT_MIN_BITS}",
+            kernels.FLOAT_BARRETT_MIN,
+            q,
+        ),
+        BoundStep(
+            f"float window ceiling: q < 2**{kernels.FLOAT_QHAT_BITS}",
+            q,
+            kernels.FLOAT_QHAT_LIMIT - 1,
+        ),
+        BoundStep(
+            "v64 exactly representable at window floor",
+            v64_floor,
+            (1 << 53) - 1,
+        ),
+        BoundStep("upward quotient error (x 2**53) < 1", up_err, scale - 1),
+        BoundStep(
+            "total quotient error (x 2**53) < 2", total_err, 2 * scale - 1
+        ),
+        BoundStep("wrap-fixed remainder < 3q", 3 * q - 1, U64_MAX),
+        BoundStep("wrap fix operand r + q", 4 * q - 1, U64_MAX),
+    )
+    return BoundProof("float_barrett", q_max, steps)
+
+
+def prove_float_qhat_shoup(q_max: int) -> BoundProof:
+    """``shoup_mul_f``: float-quotient Shoup with lazy operands < 4q.
+
+    The butterflies and BConv feed operands up to ``4q - 1`` — the
+    binding precondition, since the float product is only exact when
+    the operand itself fits 53 bits, i.e. ``4q < 2**50`` inside the
+    window.  ``w_shoup_f = RN(floor(w * 2**64 / q)) * 2**-64`` carries
+    a relative rounding error; together with the product rounding the
+    upward error stays below one quotient unit, and the downward side
+    adds only the ``a * delta / 2**64 < 2**-14`` truncation bias, so
+    the estimate sits in ``[Q - 1, Q + 1]`` and the remainder in
+    ``(-q, 2q) ⊂ (-q, 3q)`` — repaired by the same min-trick wrap fix.
+    """
+    q = _float_window(q_max, kernels.FLOAT_QHAT_LIMIT)
+    a_max = 4 * q - 1  # lazy operand bound
+    y_max = a_max  # w / q < 1, so a * w / q < a
+    scale = 1 << 53
+    up_err = math.ceil(Fraction(y_max, 2**51) * scale)
+    down_err = up_err + math.ceil(Fraction(a_max, 2**64) * scale)
+    steps = (
+        BoundStep(
+            f"float window ceiling: q < 2**{kernels.FLOAT_QHAT_BITS}",
+            q,
+            kernels.FLOAT_QHAT_LIMIT - 1,
+        ),
+        BoundStep(
+            "operand a < 4q exactly representable", a_max, (1 << 53) - 1
+        ),
+        BoundStep("upward quotient error (x 2**53) < 1", up_err, scale - 1),
+        BoundStep(
+            "downward quotient error (x 2**53) < 1", down_err, scale - 1
+        ),
+        BoundStep("wrap-fixed remainder < 3q", 3 * q - 1, U64_MAX),
+        BoundStep("wrap fix operand r + q", 4 * q - 1, U64_MAX),
+    )
+    return BoundProof("float_qhat_shoup", q_max, steps)
+
+
+def prove_float_split_mul(q_max: int) -> BoundProof:
+    """``mul_f``: the split variable product on the float lane.
+
+    Same shape as :func:`prove_narrow_split_mul`, but both reductions
+    go through the float Barrett, whose lazy output is ``[0, 2q)``
+    (wrap fix plus one conditional subtraction).  The high partial
+    ``a * b1`` must fit uint64 before its reduction, and the
+    recombination ``(r1 << s) + a * b0`` with ``r1 < 2q`` must fit
+    again before the second reduction — both clamped to the split
+    regime ``q < 2**42``, which sits inside the float window.
+    """
+    q = _float_window(q_max, kernels.NARROW_SPLIT_LIMIT)
+    s = kernels.SPLIT_SHIFT
+    a = q - 1
+    b1 = (q - 1) >> s
+    b0 = (1 << s) - 1
+    r1 = 2 * q - 1  # float Barrett lazy remainder of a * b1
+    steps = (
+        BoundStep(
+            f"split precondition: q < 2**{kernels.NARROW_SPLIT_BITS}",
+            q,
+            kernels.NARROW_SPLIT_LIMIT - 1,
+        ),
+        BoundStep("a * b1 (high partial)", a * b1, U64_MAX),
+        BoundStep("r1 = reduce64_f_lazy(a * b1) < 2q", r1, U64_MAX),
+        BoundStep(f"(r1 << {s}) + a * b0", (r1 << s) + a * b0, U64_MAX),
+        BoundStep("second float Barrett output < 2q", 2 * q - 1, U64_MAX),
+    )
+    return BoundProof("float_split_mul", q_max, steps)
+
+
 def prove_bconv_accumulator(
     q_max: int, terms: int = DEFAULT_BCONV_TERMS
 ) -> BoundProof:
@@ -310,6 +442,9 @@ def certify_word_bits(
         prove_barrett_reduction(q_max),
         prove_variable_product(q_max),
         prove_narrow_split_mul(q_max),
+        prove_float_barrett(q_max),
+        prove_float_qhat_shoup(q_max),
+        prove_float_split_mul(q_max),
         prove_bconv_accumulator(q_max, terms=bconv_terms),
         prove_ds_reconstruction(1 << _boot_pair_product_bits(word_bits)),
     )

@@ -15,14 +15,112 @@ selectors for any prefix of it.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.ckks.context import CkksContext
+from repro.rns import kernels
 from repro.rns.bconv import CONVERTERS
 from repro.rns.modmath import mod_inverse
 from repro.rns.poly import RnsPolynomial
 
 __all__ = ["KeySwitcher"]
+
+# Evaluation-key stacks pinned per switch plan (a server typically holds
+# one relinearization key plus a handful of rotation keys per context).
+_EVK_STACK_CAPACITY = 8
+
+
+class _SwitchPlan:
+    """Precomputed state for planned key-switching over one active chain.
+
+    Freezes everything `switch` needs beyond the polynomial itself: the
+    per-digit base converters, the scatter indices mapping each digit's
+    converted rows into the ``(D, E, N)`` extended tensor, the evk row
+    selector, the doubled chains that let ModDown run both output
+    polynomials through single NTT/BConv calls, and the ``P^{-1}``
+    Shoup columns.  Built once per active chain and cached on the
+    :class:`KeySwitcher`.
+    """
+
+    def __init__(self, switcher: "KeySwitcher", active: tuple):
+        params = switcher.params
+        ring = switcher.ring
+        aux = params.aux_primes
+        self.active = active
+        self.target = active + aux
+        self.digits = []
+        rest_moduli = []
+        row_digit = []
+        row_target = []
+        for d, (start, stop) in enumerate(params.digit_spans()):
+            stop = min(stop, len(active))
+            if start >= len(active):
+                break
+            rest = [
+                (i, q)
+                for i, q in enumerate(self.target)
+                if not (start <= i < stop)
+            ]
+            conv = CONVERTERS.get(active[start:stop], tuple(q for _, q in rest))
+            self.digits.append((start, stop, conv))
+            for i, q in rest:
+                row_digit.append(d)
+                row_target.append(i)
+                rest_moduli.append(q)
+        self.rest_moduli = tuple(rest_moduli)
+        self.row_digit = np.array(row_digit, dtype=np.intp)
+        self.row_target = np.array(row_target, dtype=np.intp)
+        self.keep = list(range(len(active))) + [
+            len(params.q_primes) + i for i in range(len(aux))
+        ]
+        self.kern = ring.chain_kernel(self.target)
+        # Doubled chains: ModDown transforms/converts (u0, u1) pairs in
+        # one batched call each — rows stack for the NTT, columns
+        # concatenate for BConv.
+        self.aux2 = aux + aux
+        self.active2 = active + active
+        self.kern2 = ring.chain_kernel(self.active2)
+        self.conv_down = CONVERTERS.get(aux, active)
+        p_inv = [mod_inverse(params.aux_product % q, q) for q in active]
+        self.p_inv_col = np.array(p_inv + p_inv, dtype=np.uint64).reshape(-1, 1)
+        self.p_inv_shoup = self.kern2.shoup(p_inv + p_inv)
+        self.p_inv_shoup_f = self.p_inv_shoup.astype(np.float64) * 2.0**-64
+        self._evk_stacks: OrderedDict = OrderedDict()
+
+    def evk_stack(
+        self, evk: list
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """``(D, E, N)`` stacks of the evk rows this chain consumes.
+
+        Keyed by identity — evaluation keys are immutable and few; the
+        pinned reference keeps the id stable for the cache's lifetime.
+        On float-lane chains the entry also carries per-element float
+        Shoup quotients for both stacks: the evk is a *constant*
+        operand, so the inner product can run as a 6-pass Shoup multiply
+        instead of the ~3x more expensive variable product.
+        """
+        entry = self._evk_stacks.get(id(evk))
+        if entry is not None:
+            self._evk_stacks.move_to_end(id(evk))
+            return entry[1], entry[2], entry[3], entry[4]
+        d = len(self.digits)
+        b_stack = np.stack([b_j.limbs[self.keep] for b_j, _ in evk[:d]])
+        a_stack = np.stack([a_j.limbs[self.keep] for _, a_j in evk[:d]])
+        b_shoup_f = a_shoup_f = None
+        if self.kern.float_ok:
+            b_shoup_f = self._stack_shoup_f(b_stack)
+            a_shoup_f = self._stack_shoup_f(a_stack)
+        self._evk_stacks[id(evk)] = (evk, b_stack, a_stack, b_shoup_f, a_shoup_f)
+        while len(self._evk_stacks) > _EVK_STACK_CAPACITY:
+            self._evk_stacks.popitem(last=False)
+        return b_stack, a_stack, b_shoup_f, a_shoup_f
+
+    def _stack_shoup_f(self, stack: np.ndarray) -> np.ndarray:
+        """Exact per-element float Shoup quotients against the chain rows."""
+        shoup = kernels.shoup_precompute(stack, self.kern.q)
+        return shoup.astype(np.float64) * 2.0**-64
 
 
 class KeySwitcher:
@@ -32,6 +130,14 @@ class KeySwitcher:
         self.context = context
         self.params = context.params
         self.ring = context.ring
+        self._plans: dict[tuple, _SwitchPlan] = {}
+
+    def _plan(self, active: tuple) -> _SwitchPlan:
+        plan = self._plans.get(active)
+        if plan is None:
+            plan = _SwitchPlan(self, active)
+            self._plans[active] = plan
+        return plan
 
     def mod_up(self, poly: RnsPolynomial) -> list[RnsPolynomial]:
         """Digit-decompose and raise to the extended basis ``C + P``.
@@ -91,6 +197,8 @@ class KeySwitcher:
         Returns ``(u0, u1)`` over the active basis such that
         ``u0 + u1*s ~ poly * s_src``.
         """
+        if self.ring.use_plans:
+            return self._switch_planned(poly, evk)
         active = poly.moduli
         target = active + self.params.aux_primes
         extended = self.mod_up(poly.from_ntt())
@@ -104,3 +212,68 @@ class KeySwitcher:
             acc0 = acc0 + ext * b_j.keep_limbs(keep)
             acc1 = acc1 + ext * a_j.keep_limbs(keep)
         return self.mod_down(acc0), self.mod_down(acc1)
+
+    def _switch_planned(
+        self,
+        poly: RnsPolynomial,
+        evk: list[tuple[RnsPolynomial, RnsPolynomial]],
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Planned key-switch: batched transforms, one fused inner product.
+
+        Bit-exact with the legacy path: the extended tensor's digit rows
+        reuse the input's NTT-form limbs directly (``NTT(INTT(x)) = x``
+        exactly), every digit's converted rows go through *one* batched
+        forward transform, the evk inner product runs as a single lazy
+        accumulation, and ModDown processes the ``(u0, u1)`` pair through
+        doubled-chain transforms.  Canonical residues are unique, so the
+        outputs match the sequential path bit for bit.
+        """
+        ring = self.ring
+        if not poly.ntt_form:
+            poly = poly.to_ntt()
+        plan = self._plan(poly.moduli)
+        coeff = poly.from_ntt()
+        n = ring.degree
+        num_digits = len(plan.digits)
+        ext = np.empty((num_digits, len(plan.target), n), dtype=np.uint64)
+        rest_rows = np.empty((len(plan.rest_moduli), n), dtype=np.uint64)
+        pos = 0
+        for d, (start, stop, conv) in enumerate(plan.digits):
+            ext[d, start:stop] = poly.limbs[start:stop]
+            converted = ring.backend.bconv(conv, coeff.limbs[start:stop])
+            rest_rows[pos : pos + converted.shape[0]] = converted
+            pos += converted.shape[0]
+        rest_ntt = ring.backend.ntt_forward_all(
+            ring.plan(plan.rest_moduli), rest_rows
+        )
+        ext[plan.row_digit, plan.row_target] = rest_ntt
+        b_stack, a_stack, b_shoup_f, a_shoup_f = plan.evk_stack(evk)
+        acc0, acc1 = ring.backend.keyswitch_inner(
+            plan.kern, ext, b_stack, a_stack, b_shoup_f, a_shoup_f
+        )
+        # Paired ModDown: divide both accumulators by P in one sweep.
+        level = len(plan.active)
+        aux_count = len(self.params.aux_primes)
+        p_pair = np.concatenate([acc0[level:], acc1[level:]])
+        p_coeff = ring.backend.ntt_inverse_all(ring.plan(plan.aux2), p_pair)
+        cat = np.concatenate(
+            [p_coeff[:aux_count], p_coeff[aux_count:]], axis=1
+        )
+        corr = ring.backend.bconv(plan.conv_down, cat)  # (level, 2N)
+        corr_pair = np.concatenate([corr[:, :n], corr[:, n:]])
+        corr_ntt = ring.backend.ntt_forward_all(
+            ring.plan(plan.active2), corr_pair
+        )
+        q_pair = np.concatenate([acc0[:level], acc1[:level]])
+        diff = plan.kern2.sub(q_pair, corr_ntt)
+        if plan.kern2.float_ok:
+            out = plan.kern2.shoup_mul_f(
+                diff, plan.p_inv_col, plan.p_inv_shoup_f
+            )
+        else:
+            out = kernels.shoup_mul(
+                diff, plan.p_inv_col, plan.p_inv_shoup, plan.kern2.q
+            )
+        u0 = RnsPolynomial(ring, plan.active, out[:level], ntt_form=True)
+        u1 = RnsPolynomial(ring, plan.active, out[level:], ntt_form=True)
+        return u0, u1

@@ -20,6 +20,7 @@ import numpy as np
 from repro.ckks.cipher import Ciphertext, Plaintext
 from repro.ckks.context import CkksContext
 from repro.ckks.keyswitch import KeySwitcher
+from repro.rns import kernels
 from repro.rns.modmath import mod_inverse
 from repro.rns.poly import RnsPolynomial
 
@@ -36,6 +37,9 @@ class Evaluator:
         self.params = context.params
         self.ring = context.ring
         self.switcher = KeySwitcher(context)
+        # (remaining, dropped) -> cached rescale constants for the
+        # paired fast path (doubled-chain kernel, drop^-1 Shoup columns).
+        self._rescale_consts: dict[tuple, tuple] = {}
 
     # -- level and scale alignment ----------------------------------------------
 
@@ -115,7 +119,7 @@ class Evaluator:
         """HMult: tensor, relinearize with evk_mult, optionally rescale."""
         a, b = self.align(a, b)
         d0 = a.c0 * b.c0
-        d1 = a.c0 * b.c1 + a.c1 * b.c0
+        d1 = self._tensor_cross(a, b)
         d2 = a.c1 * b.c1
         u0, u1 = self.switcher.switch(d2, self.context.keys.relinearization_key())
         out = Ciphertext(d0 + u0, d1 + u1, a.level, a.scale * b.scale)
@@ -123,6 +127,23 @@ class Evaluator:
 
     def square(self, ct: Ciphertext, rescale: bool = True) -> Ciphertext:
         return self.multiply(ct, ct, rescale=rescale)
+
+    def _tensor_cross(self, a: Ciphertext, b: Ciphertext) -> RnsPolynomial:
+        """``a0*b1 + a1*b0`` with one reduction on the planned path.
+
+        Both lazy split products stay in ``[0, 2q)``; their plain uint64
+        sum is below ``4q < 2**63``, so a single float-Barrett reduction
+        canonicalizes the cross term — bit-exact with the two canonical
+        multiplies plus modular add it replaces.
+        """
+        kern = self.ring.chain_kernel(a.c0.moduli)
+        if self.ring.use_plans and kern.float_ok and kern.split:
+            t = kern.mul_f(a.c0.limbs, b.c1.limbs, lazy=True)
+            t += kern.mul_f(a.c1.limbs, b.c0.limbs, lazy=True)
+            return RnsPolynomial(
+                self.ring, a.c0.moduli, kern.reduce64_f(t), ntt_form=True
+            )
+        return a.c0 * b.c1 + a.c1 * b.c0
 
     def adjust(self, ct: Ciphertext, level: int, scale: float) -> Ciphertext:
         """Bring a ciphertext to an exact (level, scale) operating point.
@@ -191,9 +212,109 @@ class Evaluator:
         if ct.level == 0:
             raise ValueError("no rescaling levels left (bootstrap needed)")
         step = self.params.step_at(ct.level)
-        c0 = self._rescale_poly(ct.c0, step.primes)
-        c1 = self._rescale_poly(ct.c1, step.primes)
+        if self.ring.use_plans:
+            c0, c1 = self._rescale_pair(ct.c0, ct.c1, step.primes)
+        else:
+            c0 = self._rescale_poly(ct.c0, step.primes)
+            c1 = self._rescale_poly(ct.c1, step.primes)
         return Ciphertext(c0, c1, ct.level - 1, ct.scale / step.scale)
+
+    def _rescale_pair(
+        self,
+        p0: RnsPolynomial,
+        p1: RnsPolynomial,
+        dropped: tuple[int, ...],
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Rescale ``(c0, c1)`` together through doubled-chain transforms.
+
+        Both tails share one planned INTT (rows stacked), both centered
+        corrections share one planned NTT, and the final ``drop^{-1}``
+        multiply runs on cached Shoup columns — bit-exact with
+        :meth:`_rescale_poly` applied twice (canonical residues are
+        unique and every constant is identical).
+        """
+        count = len(dropped)
+        remaining = p0.moduli[:-count]
+        if tuple(p0.moduli[-count:]) != tuple(dropped):
+            raise ValueError("chain tail does not match the rescale step")
+        ring = self.ring
+        n = ring.degree
+        level = len(remaining)
+        tail_pair = np.concatenate([p0.limbs[level:], p1.limbs[level:]])
+        tail = ring.backend.ntt_inverse_all(ring.plan(dropped + dropped), tail_pair)
+        consts = self._rescale_const(remaining, dropped)
+        kern2, inv_col, inv_shoup, inv_shoup_f = consts[:4]
+        kern_r, shift_col, half = consts[4:]
+        if count == 1:
+            values = np.concatenate([tail[0], tail[1]])  # (2N,)
+            cat = None
+        else:
+            cat = np.stack(
+                [
+                    np.concatenate([tail[0], tail[count]]),
+                    np.concatenate([tail[1], tail[count + 1]]),
+                ]
+            )
+            values = None
+        if kern_r.float_ok:
+            # Fast centered residues: one float-Barrett reduction across
+            # the whole remaining chain, then the precomputed ``-drop``
+            # shift where the value exceeds ``drop/2`` — bit-exact with
+            # the per-target ``%`` loop (canonical residues are unique).
+            if values is None:
+                values = self._garner_pair(cat, dropped)
+            over = values > half
+            r = kern_r.reduce64_f(values)
+            shifted = r + shift_col
+            adj = np.minimum(shifted, shifted - kern_r.q)
+            centered = np.where(over, adj, r)
+        elif count == 1:
+            centered = self._centered_residues(values, dropped[0], remaining)
+        else:
+            centered = self._centered_crt_pair(cat, dropped, remaining)
+        corr_pair = np.concatenate([centered[:, :n], centered[:, n:]])
+        corr_ntt = ring.backend.ntt_forward_all(
+            ring.plan(remaining + remaining), corr_pair
+        )
+        head_pair = np.concatenate([p0.limbs[:level], p1.limbs[:level]])
+        diff = kern2.sub(head_pair, corr_ntt)
+        if kern2.float_ok:
+            out = kern2.shoup_mul_f(diff, inv_col, inv_shoup_f)
+        else:
+            out = kernels.shoup_mul(diff, inv_col, inv_shoup, kern2.q)
+        return (
+            RnsPolynomial(ring, remaining, out[:level], ntt_form=True),
+            RnsPolynomial(ring, remaining, out[level:], ntt_form=True),
+        )
+
+    def _rescale_const(
+        self, remaining: tuple[int, ...], dropped: tuple[int, ...]
+    ) -> tuple:
+        key = (remaining, dropped)
+        entry = self._rescale_consts.get(key)
+        if entry is None:
+            kern2 = self.ring.chain_kernel(remaining + remaining)
+            drop_product = math.prod(dropped)
+            inv = [mod_inverse(drop_product % q, q) for q in remaining]
+            inv_col = np.array(inv + inv, dtype=np.uint64).reshape(-1, 1)
+            inv_shoup = kern2.shoup(inv + inv)
+            inv_shoup_f = inv_shoup.astype(np.float64) * 2.0**-64
+            kern_r = self.ring.chain_kernel(remaining)
+            shift_col = np.array(
+                [(q - drop_product % q) % q for q in remaining],
+                dtype=np.uint64,
+            ).reshape(-1, 1)
+            entry = (
+                kern2,
+                inv_col,
+                inv_shoup,
+                inv_shoup_f,
+                kern_r,
+                shift_col,
+                drop_product // 2,
+            )
+            self._rescale_consts[key] = entry
+        return entry
 
     def _rescale_poly(
         self, poly: RnsPolynomial, dropped: tuple[int, ...]
@@ -231,6 +352,16 @@ class Evaluator:
         return np.stack(rows)
 
     @staticmethod
+    def _garner_pair(limbs: np.ndarray, pair) -> np.ndarray:
+        """Garner CRT combine over a DS prime pair: ``x < q_a * q_b``."""
+        qa, qb = int(pair[0]), int(pair[1])
+        a = limbs[0]
+        b = limbs[1]
+        qa_inv = mod_inverse(qa % qb, qb)
+        t = (b + np.uint64(qb) - a % np.uint64(qb)) * np.uint64(qa_inv) % np.uint64(qb)
+        return a + np.uint64(qa) * t  # < qa*qb < 2**62
+
+    @staticmethod
     def _centered_crt_pair(limbs: np.ndarray, pair, targets) -> np.ndarray:
         """Garner CRT over a DS prime pair, centered, reduced per target.
 
@@ -238,11 +369,7 @@ class Evaluator:
         hardware (paper Eq. 4): values reach ``q_a * q_b < 2**62``.
         """
         qa, qb = int(pair[0]), int(pair[1])
-        a = limbs[0]
-        b = limbs[1]
-        qa_inv = mod_inverse(qa % qb, qb)
-        t = (b + np.uint64(qb) - a % np.uint64(qb)) * np.uint64(qa_inv) % np.uint64(qb)
-        x = a + np.uint64(qa) * t  # < qa*qb < 2**62
+        x = Evaluator._garner_pair(limbs, pair)
         product = qa * qb
         half = product // 2
         over = x > half

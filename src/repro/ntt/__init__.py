@@ -1,7 +1,8 @@
 """NTT engines: reference, four-step, and SHARP's ten-step."""
 
 from repro.ntt.fourstep import FourStepNtt
+from repro.ntt.plan import NttPlan
 from repro.ntt.reference import NttContext
 from repro.ntt.tenstep import TenStepNtt
 
-__all__ = ["NttContext", "FourStepNtt", "TenStepNtt"]
+__all__ = ["NttContext", "NttPlan", "FourStepNtt", "TenStepNtt"]

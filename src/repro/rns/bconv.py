@@ -92,6 +92,39 @@ class BaseConverter:
         self._src_inv_float = np.array(
             [1.0 / q for q in self.src_moduli]
         ).reshape(-1, 1)
+        # Fused (K, L, N) path: all destination Shoup multiplies run on
+        # the float-quotient lane with lazy terms in [0, 3p_j), summed as
+        # plain uint64 and reduced once per destination row.  Safe iff
+        # every p_j admits the float lane, the canonical y_i (< q_src)
+        # fit the float-Shoup operand bound, and the L-term lazy sum
+        # stays below 2**63 (cf. prove_bconv_accumulator).
+        p_max = max(self.dst_moduli)
+        self._dst_chain_kernel = kernels.kernel_for(self.dst_moduli)
+        self._fused_ok = (
+            all(
+                kernels.FLOAT_BARRETT_MIN <= p < kernels.FLOAT_QHAT_LIMIT
+                for p in self.dst_moduli
+            )
+            and max(self.src_moduli) < kernels.FLOAT_QHAT_LIMIT
+            and len(self.src_moduli) * 3 * p_max < (1 << 63)
+        )
+        self._src_float = self._src_kernel.float_ok
+        self._inv_shoup_f = self._inv_shoup.astype(np.float64) * 2.0**-64
+        # (K, L, N) scratch per seen N — the fused path is allocation-free
+        # in steady state (ModDown calls it with both N and 2N widths).
+        self._scratch: dict[int, tuple] = {}
+        if self._fused_ok:
+            self._table3 = self.table[:, :, None]
+            self._table_f = (
+                self.table_shoup.astype(np.float64)[:, :, None] * 2.0**-64
+            )
+            self._dst_q3 = np.array(
+                self.dst_moduli, dtype=np.uint64
+            ).reshape(-1, 1, 1)
+            self._corr_col = self._corr.reshape(-1, 1)
+            self._corr_shoup_f = (
+                self._corr_shoup.reshape(-1, 1).astype(np.float64) * 2.0**-64
+            )
 
     @property
     def flop_shape(self) -> tuple[int, int]:
@@ -104,14 +137,88 @@ class BaseConverter:
             raise ValueError("BConv requires the coefficient representation")
         if poly.moduli != self.src_moduli:
             raise ValueError("polynomial basis does not match the converter")
-        # y_i = [a_i * q_hat_i^(-1)]_{q_i}
-        y = kernels.shoup_mul(
-            poly.limbs, self._inv_col, self._inv_shoup, self._src_kernel.q
-        )
+        if poly.ring.use_plans:
+            rows = poly.ring.backend.bconv(self, poly.limbs)
+        else:
+            rows = self._convert_rows_legacy(poly.limbs)
+        return RnsPolynomial(poly.ring, self.dst_moduli, rows, ntt_form=False)
+
+    def convert_rows(self, limbs: np.ndarray) -> np.ndarray:
+        """Raw ``(L, N) -> (K, N)`` conversion (backend entry point)."""
+        if self._fused_ok:
+            return self._convert_rows_fused(limbs)
+        return self._convert_rows_legacy(limbs)
+
+    def _scaled_src(self, limbs: np.ndarray):
+        """``y_i = [a_i * q_hat_i^(-1)]_{q_i}`` plus the overflow estimate."""
+        if self._src_float:
+            y = self._src_kernel.shoup_mul_f(
+                limbs, self._inv_col, self._inv_shoup_f
+            )
+        else:
+            y = kernels.shoup_mul(
+                limbs, self._inv_col, self._inv_shoup, self._src_kernel.q
+            )
+        overflow = None
         if self.centered:
             overflow = np.rint((y * self._src_inv_float).sum(axis=0)).astype(
                 np.uint64
             )
+        return y, overflow
+
+    @kernels._wrapping
+    def _convert_rows_fused(self, limbs: np.ndarray) -> np.ndarray:
+        """One broadcast (K, L, N) pass on the float-quotient lane.
+
+        Terms stay lazy in ``[0, 3p_j)`` — the wrap fix after the float
+        Shoup multiply is enough, no conditional subtract — and the sum
+        over the ``L`` source limbs is a plain uint64 reduction bounded
+        by ``3 * L * p_max < 2**63``, paying exactly one float-Barrett
+        reduction per destination row.  Canonical outputs match the
+        legacy per-row loop bit for bit.
+        """
+        y, overflow = self._scaled_src(limbs)
+        n = limbs.shape[-1]
+        sc = self._scratch.get(n)
+        if sc is None:
+            shape = (len(self.dst_moduli), len(self.src_moduli), n)
+            sc = (
+                np.empty(shape, dtype=np.float64),
+                np.empty(shape, dtype=np.uint64),
+                np.empty(shape, dtype=np.uint64),
+                np.empty(shape[::2], dtype=np.uint64),
+            )
+            self._scratch[n] = sc
+        f, qhat, r, acc = sc
+        np.multiply(y, self._table_f, out=f)
+        np.copyto(qhat, f, casting="unsafe")
+        qhat *= self._dst_q3
+        np.multiply(y, self._table3, out=r)
+        r -= qhat
+        np.add(r, self._dst_q3, out=qhat)
+        np.minimum(r, qhat, out=r)  # wrap fix: [0, 3p)
+        # Unrolled middle-axis sum: contiguous-slice adds beat numpy's
+        # strided reduce ~2x at these (K, L, N) shapes.
+        src_count = r.shape[1]
+        if src_count == 1:
+            np.copyto(acc, r[:, 0])
+        else:
+            np.add(r[:, 0], r[:, 1], out=acc)
+            for i in range(2, src_count):
+                acc += r[:, i]
+        # (K, N), < 3*L*p < 2**63
+        kern = self._dst_chain_kernel
+        out = kern.reduce64_f(acc)
+        if overflow is not None:
+            corr = kern.shoup_mul_f(
+                overflow, self._corr_col, self._corr_shoup_f
+            )
+            out = kern.add(out, corr)
+        return out
+
+    def _convert_rows_legacy(self, limbs: np.ndarray) -> np.ndarray:
+        """Per-destination-row Shoup/sum_mod loop (any modulus < 2**62)."""
+        y, overflow = self._scaled_src(limbs)
         out_rows = []
         for j, kern in enumerate(self._dst_kernels):
             # terms[i] = y_i * table[j, i] mod p_j, lazy in [0, 2p_j):
@@ -129,9 +236,7 @@ class BaseConverter:
                 )
                 acc = kern.add(acc, corr)
             out_rows.append(acc)
-        return RnsPolynomial(
-            poly.ring, self.dst_moduli, np.stack(out_rows), ntt_form=False
-        )
+        return np.stack(out_rows)
 
 
 class _ConverterCache:

@@ -38,22 +38,25 @@ from __future__ import annotations
 
 import functools
 from functools import lru_cache
+from typing import Any, Callable, TypeVar
 
 import numpy as np
 
+_F = TypeVar("_F", bound=Callable[..., Any])
 
-def _wrapping(fn):
+
+def _wrapping(fn: _F) -> _F:
     """Silence numpy's scalar overflow warnings: uint64 wraparound is
     the *mechanism* here (low products are taken mod 2**64 by design),
     and numpy only warns for scalar operands anyway — array paths never
     check."""
 
     @functools.wraps(fn)
-    def wrapper(*args, **kwargs):
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
         with np.errstate(over="ignore"):
             return fn(*args, **kwargs)
 
-    return wrapper
+    return wrapper  # type: ignore[return-value]
 
 __all__ = [
     "FAST_MODULUS_BITS",
@@ -61,6 +64,9 @@ __all__ = [
     "NARROW_SPLIT_BITS",
     "NARROW_SPLIT_LIMIT",
     "SPLIT_SHIFT",
+    "FLOAT_QHAT_BITS",
+    "FLOAT_QHAT_LIMIT",
+    "FLOAT_BARRETT_MIN_BITS",
     "mul_hi",
     "mul_wide",
     "add_mod",
@@ -71,10 +77,29 @@ __all__ = [
     "shoup_mul",
     "ModulusKernel",
     "kernel_for",
+    "kernel_cache_stats",
 ]
 
 FAST_MODULUS_BITS = 62
 FAST_MODULUS_LIMIT = 1 << FAST_MODULUS_BITS
+
+# The float-quotient lane: for moduli in [2**14, 2**48) the Shoup /
+# Barrett quotient estimate can be computed in float64 instead of an
+# emulated 128-bit high multiply.  With w_f = RN(w_shoup * 2**-64) the
+# product ``RN(v * w_f)`` carries a relative error below ``2**-52 +
+# 2**-106``; for ``v < 4q < 2**50`` the absolute error stays below one,
+# so ``floor`` of the float product is the true quotient up to +-1 and
+# the remainder ``v*w - qhat*q`` lands in ``(-q, 3q)`` — repaired by the
+# ``min(r, r + q)`` wrap trick and collapsed with conditional
+# subtractions (see :meth:`ModulusKernel._wrap_fix`).  That is
+# ~half the vector passes of the integer half-word decomposition.  The
+# lower bound 2**14 keeps the Barrett variant exact for *any* 64-bit
+# input (quotients up to ``2**50`` keep the float error under 3/8).
+# ``repro.check.bounds`` proves both error chains exactly.
+FLOAT_QHAT_BITS = 48
+FLOAT_QHAT_LIMIT = 1 << FLOAT_QHAT_BITS
+FLOAT_BARRETT_MIN_BITS = 14
+FLOAT_BARRETT_MIN = 1 << FLOAT_BARRETT_MIN_BITS
 
 # Moduli below 2**42 admit a cheaper variable product than the full
 # 128-bit decomposition: split one operand at SPLIT_SHIFT bits, fold the
@@ -91,6 +116,7 @@ _MASK32 = np.uint64(0xFFFFFFFF)
 _U32 = np.uint64(32)
 _SPLIT_SHIFT = np.uint64(SPLIT_SHIFT)
 _SPLIT_MASK = np.uint64((1 << SPLIT_SHIFT) - 1)
+_INV_2_64 = 2.0**-64
 
 
 @_wrapping
@@ -134,15 +160,21 @@ def mul_wide(a, b) -> tuple[np.ndarray, np.ndarray]:
 
 @_wrapping
 def add_mod(a, b, q) -> np.ndarray:
-    """``(a + b) mod q`` for canonical residues; needs ``q < 2**63``."""
+    """``(a + b) mod q`` for canonical residues; needs ``q < 2**63``.
+
+    ``s - q`` wraps past ``2**64`` exactly when ``s < q``, so the
+    minimum keeps ``s`` there and the reduced value otherwise — one
+    branch-free pass instead of a compare-and-select.
+    """
     s = a + b
-    return np.where(s >= q, s - q, s)
+    return np.minimum(s, s - q)
 
 
 @_wrapping
 def sub_mod(a, b, q) -> np.ndarray:
-    """``(a - b) mod q`` for canonical residues."""
-    return np.where(a >= b, a - b, a + q - b)
+    """``(a - b) mod q`` for canonical residues (min-trick, see add_mod)."""
+    d = a - b
+    return np.minimum(d, d + q)
 
 
 @_wrapping
@@ -211,8 +243,14 @@ class ModulusKernel:
                     f"modulus {q} outside the kernel range [3, 2**{FAST_MODULUS_BITS})"
                 )
         self.moduli = mods
-        self.narrow = max(mods) < (1 << 31)
-        self.split = max(mods) < NARROW_SPLIT_LIMIT
+        self.q_max = max(mods)
+        self.narrow = self.q_max < (1 << 31)
+        self.split = self.q_max < NARROW_SPLIT_LIMIT
+        # Float-quotient lane eligibility (see module constants): every
+        # modulus of the chain must sit in [2**14, 2**48).
+        self.float_ok = (
+            min(mods) >= FLOAT_BARRETT_MIN and self.q_max < FLOAT_QHAT_LIMIT
+        )
 
         def col(vals):
             arr = np.array(vals, dtype=np.uint64)
@@ -228,18 +266,52 @@ class ModulusKernel:
         self.r64_shoup = col([((((1 << 64) % q) << 64) // q) for q in mods])
         self.r32 = col([(1 << 32) % q for q in mods])
         self.r32_shoup = col([((((1 << 32) % q) << 64) // q) for q in mods])
+        # Float mirror of the Barrett ratio: RN(v64) * 2**-64.  The
+        # power-of-two scaling is exact, so this is v64 rounded once to
+        # 53 bits — precisely the operand the float-lane error analysis
+        # (repro.check.bounds.prove_float_barrett) models.
+        self.v64_f = self.v64.astype(np.float64) * _INV_2_64
+        # Intermediate scratch per broadcast shape: the float-lane ops
+        # below run entirely on ``out=`` passes, allocating only their
+        # result array in steady state.  Kernels are cached process-wide
+        # (``kernel_for``), so the pool amortizes across every call.
+        self._pool: dict[tuple, tuple] = {}
+
+    def _scratch3(self, shape) -> tuple:
+        sc = self._pool.get(shape)
+        if sc is None:
+            sc = (
+                np.empty(shape, dtype=np.uint64),
+                np.empty(shape, dtype=np.uint64),
+                np.empty(shape, dtype=np.float64),
+            )
+            self._pool[shape] = sc
+        return sc
 
     # -- element-wise ring ops -------------------------------------------
 
     @_wrapping
     def add(self, a, b) -> np.ndarray:
-        return add_mod(a, b, self.q)
+        """``(a + b) mod q`` for canonical residues (min-trick)."""
+        shape = np.broadcast(a, b, self.q).shape
+        u1, _, _ = self._scratch3(shape)
+        s = np.empty(shape, dtype=np.uint64)
+        np.add(a, b, out=s)
+        np.subtract(s, self.q, out=u1)
+        np.minimum(s, u1, out=s)
+        return s
 
     @_wrapping
     def sub(self, a, b) -> np.ndarray:
-        return sub_mod(a, b, self.q)
+        """``(a - b) mod q`` for canonical residues (min-trick)."""
+        shape = np.broadcast(a, b, self.q).shape
+        u1, _, _ = self._scratch3(shape)
+        d = np.empty(shape, dtype=np.uint64)
+        np.subtract(a, b, out=d)
+        np.add(d, self.q, out=u1)
+        np.minimum(d, u1, out=d)
+        return d
 
-    @_wrapping
     def neg(self, a) -> np.ndarray:
         return neg_mod(a, self.q)
 
@@ -253,6 +325,124 @@ class ModulusKernel:
         """Any uint64 ``x`` reduced canonically to ``[0, q)``."""
         r = self.reduce64_lazy(x)
         return np.where(r >= self.q, r - self.q, r)
+
+    def _wrap_fix(self, r) -> np.ndarray:
+        """Map a wrapped remainder in ``(-q, 3q)`` into ``[0, 3q)``.
+
+        A negative remainder wrapped mod ``2**64`` sits at or above
+        ``2**64 - q``, so adding ``q`` wraps it back to the true value
+        plus ``q`` (in ``[0, q)``), while a non-negative one lands in
+        ``[q, 4q)`` without wrapping — the minimum picks the repaired
+        branch unambiguously.  Undecorated on purpose: ``self.q`` is an
+        array, so the wrap runs on the (warning-free) array path, and
+        every hot caller is already inside a ``_wrapping`` scope.
+        """
+        return np.minimum(r, r + self.q)
+
+    def reduce64_f_lazy(self, x) -> np.ndarray:
+        """Float-lane Barrett: any uint64 ``x`` to ``[0, 2q)``.
+
+        Requires ``float_ok``.  The quotient is the float64 product
+        ``x * (v64 * 2**-64)`` truncated — off by at most one from the
+        integer Barrett quotient, so the remainder lands in ``(-q, 3q)``
+        before the wrap fix and one conditional subtraction.
+        """
+        shape = np.broadcast(x, self.v64_f).shape
+        u1, _, f = self._scratch3(shape)
+        np.multiply(x, self.v64_f, out=f)
+        np.copyto(u1, f, casting="unsafe")
+        u1 *= self.q
+        r = np.empty(shape, dtype=np.uint64)
+        np.subtract(x, u1, out=r)
+        np.add(r, self.q, out=u1)
+        np.minimum(r, u1, out=r)  # wrap fix: [0, 3q)
+        np.subtract(r, self.two_q, out=u1)
+        np.minimum(r, u1, out=r)
+        return r
+
+    @_wrapping
+    def reduce64_f(self, x) -> np.ndarray:
+        """Float-lane Barrett, canonical ``[0, q)`` (requires ``float_ok``)."""
+        r = self.reduce64_f_lazy(x)
+        u1, _, _ = self._scratch3(r.shape)
+        np.subtract(r, self.q, out=u1)
+        np.minimum(r, u1, out=r)
+        return r
+
+    @_wrapping
+    def shoup_mul_f(self, a, w, w_shoup_f, lazy: bool = False) -> np.ndarray:
+        """Constant multiply on the float-quotient lane.
+
+        ``w_shoup_f`` is the Shoup quotient scaled by ``2**-64`` (see
+        :meth:`shoup_f`); ``a`` may be lazy up to ``4q``.  Requires
+        ``float_ok``; ``lazy=True`` returns ``[0, 2q)``.
+        """
+        shape = np.broadcast(a, w, self.q).shape
+        u1, _, f = self._scratch3(shape)
+        np.multiply(a, w_shoup_f, out=f)
+        np.copyto(u1, f, casting="unsafe")
+        u1 *= self.q
+        r = np.empty(shape, dtype=np.uint64)
+        np.multiply(a, w, out=r)
+        r -= u1
+        np.add(r, self.q, out=u1)
+        np.minimum(r, u1, out=r)  # wrap fix: [0, 3q)
+        np.subtract(r, self.two_q, out=u1)
+        np.minimum(r, u1, out=r)
+        if lazy:
+            return r
+        np.subtract(r, self.q, out=u1)
+        np.minimum(r, u1, out=r)
+        return r
+
+    def shoup_f(self, w) -> np.ndarray:
+        """Float64 mirror of :meth:`shoup` for :meth:`shoup_mul_f`."""
+        return self.shoup(w).astype(np.float64) * _INV_2_64
+
+    @_wrapping
+    def mul_f(self, a, b, lazy: bool = False) -> np.ndarray:
+        """Variable product on the float-quotient lane (``q < 2**42``).
+
+        Same split-operand shape as the integer split regime, but both
+        reductions run on float64 quotients: ~60% of the vector passes.
+        Requires ``float_ok and split``; ``lazy=True`` returns ``[0, 2q)``.
+        """
+        shape = np.broadcast(a, b, self.q).shape
+        u1, u2, f = self._scratch3(shape)
+        t = np.empty(shape, dtype=np.uint64)
+        if np.shape(b) == shape:
+            bh = np.right_shift(b, _SPLIT_SHIFT, out=u2)
+        else:
+            bh = b >> _SPLIT_SHIFT
+        np.multiply(a, bh, out=t)
+        np.multiply(t, self.v64_f, out=f)
+        np.copyto(u1, f, casting="unsafe")
+        u1 *= self.q
+        t -= u1
+        np.add(t, self.q, out=u1)
+        np.minimum(t, u1, out=t)  # wrap fix: [0, 3q)
+        np.subtract(t, self.two_q, out=u1)
+        np.minimum(t, u1, out=t)  # r1 in [0, 2q)
+        np.left_shift(t, _SPLIT_SHIFT, out=t)
+        if np.shape(b) == shape:
+            bl = np.bitwise_and(b, _SPLIT_MASK, out=u2)
+        else:
+            bl = b & _SPLIT_MASK
+        np.multiply(a, bl, out=u1)
+        t += u1  # < 3q * 2**20
+        np.multiply(t, self.v64_f, out=f)
+        np.copyto(u1, f, casting="unsafe")
+        u1 *= self.q
+        t -= u1
+        np.add(t, self.q, out=u1)
+        np.minimum(t, u1, out=t)  # wrap fix
+        np.subtract(t, self.two_q, out=u1)
+        np.minimum(t, u1, out=t)
+        if lazy:
+            return t
+        np.subtract(t, self.q, out=u1)
+        np.minimum(t, u1, out=t)
+        return t
 
     @_wrapping
     def mul(self, a, b) -> np.ndarray:
@@ -324,7 +514,33 @@ class ModulusKernel:
         return np.where(s >= self.q, s - self.q, s)
 
 
-@lru_cache(maxsize=256)
-def kernel_for(modulus: int) -> ModulusKernel:
-    """Process-wide scalar-kernel cache (one entry per modulus)."""
-    return ModulusKernel(modulus)
+_KERNEL_CACHE_SIZE = 128
+
+
+@lru_cache(maxsize=_KERNEL_CACHE_SIZE)
+def _kernel_cached(moduli: tuple, scalar: bool) -> ModulusKernel:
+    return ModulusKernel(moduli[0] if scalar else list(moduli))
+
+
+def kernel_for(moduli) -> ModulusKernel:
+    """Bounded process-wide kernel cache keyed on the modulus tuple.
+
+    Accepts a single modulus (scalar kernel) or a sequence of chain
+    moduli (column-constant kernel).  The LRU bound keeps long-lived
+    services (``repro.serve``) from accumulating one kernel per modulus
+    value forever; see :func:`kernel_cache_stats`.
+    """
+    if isinstance(moduli, (int, np.integer)):
+        return _kernel_cached((int(moduli),), True)
+    return _kernel_cached(tuple(int(q) for q in moduli), False)
+
+
+def kernel_cache_stats() -> dict:
+    """Hit/miss/size counters for the :func:`kernel_for` LRU cache."""
+    info = _kernel_cached.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+    }

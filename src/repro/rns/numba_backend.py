@@ -1,0 +1,114 @@
+"""Optional numba JIT kernel backend with graceful numpy fallback.
+
+When numba is importable, variable modular products run through an
+``@njit(parallel=True)`` scalar loop on the float-quotient lane — the
+same split-operand / float64-Barrett algorithm as
+``ModulusKernel.mul_f`` (see ``repro.check.bounds`` for the proof), but
+without numpy's intermediate materialization, and threaded across
+coefficients.  Everything else delegates to the numpy backend, whose
+planned NTT already runs close to memory bandwidth.
+
+When numba is *not* importable (it is not a declared dependency — CI
+and the default image run without it), constructing the backend warns
+once and degrades to a pure delegation shell, so
+``REPRO_KERNEL_BACKEND=numba`` is always safe to set.  The parity suite
+runs either way: fallback or JIT, outputs must be bit-exact with numpy.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.rns.backend import NumpyBackend
+
+if TYPE_CHECKING:
+    from repro.ntt.plan import NttPlan
+    from repro.rns.kernels import ModulusKernel
+
+__all__ = ["NumbaBackend", "HAVE_NUMBA"]
+
+try:  # pragma: no cover - numba is not installed in CI
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+_warned = False
+
+_jit_mul: Any = None
+
+
+def _build_jit_mul() -> Any:  # pragma: no cover - requires numba
+    """Compile the float-lane split-product loop (called once, lazily)."""
+    global _jit_mul
+    if _jit_mul is not None:
+        return _jit_mul
+
+    @numba.njit(parallel=True, fastmath=False, cache=True)  # type: ignore[misc]
+    def jit_mul(
+        a: np.ndarray,
+        b: np.ndarray,
+        q: np.uint64,
+        v_f: float,
+        out: np.ndarray,
+    ) -> None:
+        two_q = np.uint64(2 * q)
+        for i in numba.prange(a.shape[0]):
+            t = a[i] * (b[i] >> np.uint64(20))
+            qhat = np.uint64(np.float64(t) * v_f)
+            r = t - qhat * q
+            if r >= two_q + two_q:
+                r += q  # negative wrap
+            if r >= two_q:
+                r -= two_q
+            x = (r << np.uint64(20)) + a[i] * (b[i] & np.uint64((1 << 20) - 1))
+            qhat = np.uint64(np.float64(x) * v_f)
+            r = x - qhat * q
+            if r >= two_q + two_q:
+                r += q
+            if r >= two_q:
+                r -= two_q
+            if r >= q:
+                r -= q
+            out[i] = r
+
+    _jit_mul = jit_mul
+    return jit_mul
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT mul when numba is present; numpy delegation otherwise."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        global _warned
+        super().__init__()
+        self.jit_active = HAVE_NUMBA
+        if not HAVE_NUMBA and not _warned:
+            warnings.warn(
+                "numba is not importable; the 'numba' kernel backend is "
+                "falling back to the numpy baseline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _warned = True
+
+    def mul(self, kern: ModulusKernel, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if (
+            self.jit_active
+            and kern.float_ok
+            and kern.split
+            and (np.isscalar(kern.q) or getattr(kern.q, "ndim", 1) == 0)
+        ):  # pragma: no cover - requires numba
+            out = np.empty(a.size, dtype=np.uint64)
+            _build_jit_mul()(
+                a.ravel(), b.ravel(), kern.q, float(kern.v64_f), out
+            )
+            return out.reshape(a.shape)
+        return super().mul(kern, a, b)

@@ -20,6 +20,7 @@ match); ring multiplication requires the evaluation representation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -29,7 +30,9 @@ from repro.rns import kernels
 from repro.rns.modmath import mod_inverse
 
 if TYPE_CHECKING:  # deferred at runtime: repro.ntt.reference imports kernels
+    from repro.ntt.plan import NttPlan
     from repro.ntt.reference import NttChain, NttContext
+    from repro.rns.backend import KernelBackend
 
 __all__ = ["RingContext", "RnsPolynomial"]
 
@@ -42,12 +45,23 @@ class RingContext:
     tables are created lazily and cached.
     """
 
-    def __init__(self, degree: int):
+    def __init__(self, degree: int, backend=None):
         if degree & (degree - 1) or degree < 4:
             raise ValueError("degree must be a power of two >= 4")
         self.degree = degree
+        # Execution engine for the hot paths (see repro.rns.backend);
+        # resolved once here, from the argument, $REPRO_KERNEL_BACKEND,
+        # or the numpy default.  REPRO_KERNEL_PLANS=off disables every
+        # planned/fused fast path (plan NTT, float-lane products, fused
+        # BConv/key-switch) and restores the legacy per-limb code — the
+        # live reference the benchmark speedup gates compare against.
+        from repro.rns.backend import resolve_backend
+
+        self.backend: KernelBackend = resolve_backend(backend)
+        self.use_plans = os.environ.get("REPRO_KERNEL_PLANS", "on") != "off"
         self._ntt: dict[int, NttContext] = {}
         self._chains: dict[tuple[int, ...], NttChain] = {}
+        self._plans: dict[tuple[int, ...], NttPlan] = {}
         self._kernels: dict[tuple[int, ...], kernels.ModulusKernel] = {}
         self._auto_eval: dict[int, np.ndarray] = {}
         self._auto_coeff: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -70,6 +84,16 @@ class RingContext:
             chain = NttChain([self.ntt(q) for q in moduli])
             self._chains[moduli] = chain
         return chain
+
+    def plan(self, moduli: tuple[int, ...]) -> NttPlan:
+        """Cached fused NTT plan for a chain (built once per moduli tuple)."""
+        plan = self._plans.get(moduli)
+        if plan is None:
+            from repro.ntt.plan import NttPlan
+
+            plan = NttPlan([self.ntt(q) for q in moduli])
+            self._plans[moduli] = plan
+        return plan
 
     def chain_kernel(self, moduli: tuple[int, ...]) -> kernels.ModulusKernel:
         """Cached chain-mode modular kernel (constants as (L, 1) columns)."""
@@ -197,13 +221,23 @@ class RnsPolynomial:
     def to_ntt(self) -> "RnsPolynomial":
         if self.ntt_form:
             return self
-        out = self.ring.chain(self.moduli).forward_all(self.limbs)
+        if self.ring.use_plans:
+            out = self.ring.backend.ntt_forward_all(
+                self.ring.plan(self.moduli), self.limbs
+            )
+        else:
+            out = self.ring.chain(self.moduli).forward_all(self.limbs)
         return RnsPolynomial(self.ring, self.moduli, out, True)
 
     def from_ntt(self) -> "RnsPolynomial":
         if not self.ntt_form:
             return self
-        out = self.ring.chain(self.moduli).inverse_all(self.limbs)
+        if self.ring.use_plans:
+            out = self.ring.backend.ntt_inverse_all(
+                self.ring.plan(self.moduli), self.limbs
+            )
+        else:
+            out = self.ring.chain(self.moduli).inverse_all(self.limbs)
         return RnsPolynomial(self.ring, self.moduli, out, False)
 
     # -- arithmetic ------------------------------------------------------------
@@ -225,7 +259,7 @@ class RnsPolynomial:
         return RnsPolynomial(
             self.ring,
             self.moduli,
-            self._kernel().add(self.limbs, other.limbs),
+            self.ring.backend.add(self._kernel(), self.limbs, other.limbs),
             self.ntt_form,
         )
 
@@ -248,9 +282,11 @@ class RnsPolynomial:
         self._check_compatible(other)
         if not self.ntt_form:
             raise ValueError("ring multiplication requires evaluation form")
-        return RnsPolynomial(
-            self.ring, self.moduli, self._kernel().mul(self.limbs, other.limbs), True
-        )
+        if self.ring.use_plans:
+            out = self.ring.backend.mul(self._kernel(), self.limbs, other.limbs)
+        else:
+            out = self._kernel().mul(self.limbs, other.limbs)
+        return RnsPolynomial(self.ring, self.moduli, out, True)
 
     def scalar_mul(self, scalars) -> "RnsPolynomial":
         """Multiply limb ``i`` by ``scalars[i]`` (or one shared scalar).

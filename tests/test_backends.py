@@ -1,0 +1,330 @@
+"""Backend parity suite: every kernel backend is bit-exact with numpy.
+
+The backend registry (PR 7) makes execution engines swappable per
+:class:`~repro.rns.poly.RingContext`; that is only a deployment knob if
+every backend returns bit-identical canonical residues for the five hot
+operations.  This suite enforces exactly that, across the word lengths
+the service catalogue spans (28/36/50/62 bits — float-quotient lane on
+and off), plus the plan-vs-reference NTT equality the planned evaluator
+path relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ntt.plan import NttPlan
+from repro.ntt.reference import NttChain, NttContext
+from repro.params.primes import find_ntt_primes
+from repro.rns import kernels, numba_backend
+from repro.rns.backend import (
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.rns.bconv import BaseConverter
+from repro.rns.parallel import ParallelBackend
+
+WORD_PATTERNS = (28, 36, 50, 62)
+
+N = 64  # elementwise / keyswitch degree (two_n = 128 NTT-friendly)
+
+
+def _primes(two_n: int, bits: int, count: int, exclude=None) -> tuple[int, ...]:
+    return tuple(
+        find_ntt_primes(
+            two_n,
+            float(2**bits * 0.9),
+            count,
+            max_value=min(2 ** (bits + 1), kernels.FAST_MODULUS_LIMIT) - 1,
+            min_value=2 ** (bits - 1),
+            exclude=exclude,
+        )
+    )
+
+
+_CHAINS: dict[tuple[int, int], tuple[int, ...]] = {}
+
+
+def _chain(two_n: int, bits: int, count: int) -> tuple[int, ...]:
+    key = (two_n, bits)
+    if key not in _CHAINS or len(_CHAINS[key]) < count:
+        _CHAINS[key] = _primes(two_n, bits, count)
+    return _CHAINS[key][:count]
+
+
+def _backends() -> list:
+    """One instance of every registered backend (numba may warn once)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return [get_backend(name) for name in available_backends()]
+
+
+def _limbs(moduli, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [rng.integers(0, q, n, dtype=np.uint64) for q in moduli]
+    )
+
+
+# -- elementwise parity ------------------------------------------------------
+
+
+class TestElementwiseParity:
+    @pytest.mark.parametrize("bits", WORD_PATTERNS)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_mul_add_match_numpy(self, bits, seed):
+        moduli = _chain(2 * N, bits, 3)
+        kern = kernels.ModulusKernel(moduli)
+        a = _limbs(moduli, N, seed)
+        b = _limbs(moduli, N, seed + 1)
+        reference = NumpyBackend()
+        want_mul = reference.mul(kern, a, b)
+        want_add = reference.add(kern, a, b)
+        # Ground truth once per draw: exact integer arithmetic.
+        q_col = np.array(moduli, dtype=object).reshape(-1, 1)
+        assert np.array_equal(
+            want_mul, (a.astype(object) * b.astype(object) % q_col).astype(np.uint64)
+        )
+        assert np.array_equal(
+            want_add, ((a.astype(object) + b.astype(object)) % q_col).astype(np.uint64)
+        )
+        for backend in _backends():
+            assert np.array_equal(backend.mul(kern, a, b), want_mul), backend.name
+            assert np.array_equal(backend.add(kern, a, b), want_add), backend.name
+
+
+# -- NTT parity: plan vs reference chain, and backends vs numpy --------------
+
+
+class TestNttParity:
+    @pytest.mark.parametrize("bits", WORD_PATTERNS)
+    @pytest.mark.parametrize("degree", (256, 1024))
+    def test_plan_matches_reference_chain(self, bits, degree):
+        """Plan output == NttChain output, forward and inverse.
+
+        degree = 256 exercises the flat butterfly layout, 1024 the
+        transposed-tail layout; 50/62-bit chains exercise the non-float
+        fallback inside the plan.
+        """
+        moduli = _chain(2 * degree, bits, 2)
+        contexts = [NttContext(degree, q) for q in moduli]
+        plan = NttPlan(contexts)
+        chain = NttChain(contexts)
+        x = _limbs(moduli, degree, seed=bits * degree)
+        fwd_plan = plan.forward_all(x.copy())
+        fwd_chain = chain.forward_all(x.copy())
+        assert np.array_equal(fwd_plan, fwd_chain)
+        inv_plan = plan.inverse_all(fwd_plan.copy())
+        inv_chain = chain.inverse_all(fwd_chain.copy())
+        assert np.array_equal(inv_plan, inv_chain)
+        assert np.array_equal(inv_plan, x)  # round trip
+
+    @pytest.mark.parametrize("bits", (36, 62))
+    def test_backends_match_numpy(self, bits):
+        degree = 1024
+        moduli = _chain(2 * degree, bits, 2)
+        plan = NttPlan([NttContext(degree, q) for q in moduli])
+        x = _limbs(moduli, degree, seed=17)
+        reference = NumpyBackend()
+        want_fwd = reference.ntt_forward_all(plan, x.copy())
+        want_inv = reference.ntt_inverse_all(plan, want_fwd.copy())
+        for backend in _backends():
+            assert np.array_equal(
+                backend.ntt_forward_all(plan, x.copy()), want_fwd
+            ), backend.name
+            assert np.array_equal(
+                backend.ntt_inverse_all(plan, want_fwd.copy()), want_inv
+            ), backend.name
+
+
+# -- BConv parity ------------------------------------------------------------
+
+
+class TestBconvParity:
+    @pytest.mark.parametrize("bits", WORD_PATTERNS)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_backends_match_legacy_rows(self, bits, seed):
+        src = _chain(2 * N, bits, 3)
+        dst = _primes(2 * N, bits - 1, 2, exclude=set(src))
+        conv = BaseConverter(src, dst, centered=False)
+        limbs = _limbs(src, N, seed)
+        want = conv._convert_rows_legacy(limbs)
+        assert np.array_equal(conv.convert_rows(limbs), want)
+        for backend in _backends():
+            assert np.array_equal(backend.bconv(conv, limbs), want), backend.name
+
+
+# -- key-switch inner product parity -----------------------------------------
+
+
+def _naive_inner(kern, ext, b_stack, a_stack):
+    acc0 = kern.mul(ext[0], b_stack[0])
+    acc1 = kern.mul(ext[0], a_stack[0])
+    for d in range(1, ext.shape[0]):
+        acc0 = kern.add(acc0, kern.mul(ext[d], b_stack[d]))
+        acc1 = kern.add(acc1, kern.mul(ext[d], a_stack[d]))
+    return acc0, acc1
+
+
+class TestKeyswitchInnerParity:
+    @pytest.mark.parametrize("bits", WORD_PATTERNS)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_backends_match_naive_sum(self, bits, seed):
+        moduli = _chain(2 * N, bits, 3)
+        kern = kernels.ModulusKernel(moduli)
+        digits = 3
+        ext = np.stack([_limbs(moduli, N, seed + d) for d in range(digits)])
+        b_stack = np.stack([_limbs(moduli, N, seed + 10 + d) for d in range(digits)])
+        a_stack = np.stack([_limbs(moduli, N, seed + 20 + d) for d in range(digits)])
+        b_shoup_f = (
+            kernels.shoup_precompute(b_stack, kern.q).astype(np.float64) * 2.0**-64
+        )
+        a_shoup_f = (
+            kernels.shoup_precompute(a_stack, kern.q).astype(np.float64) * 2.0**-64
+        )
+        want = _naive_inner(kern, ext, b_stack, a_stack)
+        for backend in _backends():
+            for shoups in ((None, None), (b_shoup_f, a_shoup_f)):
+                got = backend.keyswitch_inner(kern, ext, b_stack, a_stack, *shoups)
+                assert np.array_equal(got[0], want[0]), backend.name
+                assert np.array_equal(got[1], want[1]), backend.name
+
+
+# -- parallel backend: genuinely sharded path --------------------------------
+
+
+class TestParallelSharded:
+    def test_sharded_ntt_and_bconv_match_numpy(self):
+        """Force real worker shards (2 workers, no size floor)."""
+        degree = 1024
+        moduli = _chain(2 * degree, 36, 4)
+        plan = NttPlan([NttContext(degree, q) for q in moduli])
+        src = moduli[:3]
+        dst = _primes(2 * degree, 35, 2, exclude=set(moduli))
+        conv = BaseConverter(src, dst, centered=True)
+        x = _limbs(moduli, degree, seed=5)
+        y = _limbs(src, degree, seed=6)
+        reference = NumpyBackend()
+        backend = ParallelBackend(workers=2, min_shard_elems=1)
+        try:
+            fwd = reference.ntt_forward_all(plan, x.copy())
+            assert np.array_equal(backend.ntt_forward_all(plan, x.copy()), fwd)
+            assert np.array_equal(
+                backend.ntt_inverse_all(plan, fwd.copy()),
+                reference.ntt_inverse_all(plan, fwd.copy()),
+            )
+            assert np.array_equal(
+                backend.bconv(conv, y), reference.bconv(conv, y)
+            )
+        finally:
+            backend.close()
+        backend.close()  # idempotent
+
+
+# -- registry, fallback, cache plumbing --------------------------------------
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        names = available_backends()
+        for expected in ("numpy", "parallel", "numba"):
+            assert expected in names
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("cuda")
+
+    def test_resolve_backend_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        assert resolve_backend(None).name == "numpy"
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "parallel")
+        assert resolve_backend(None).name == "parallel"
+        assert resolve_backend("numpy").name == "numpy"  # explicit beats env
+        instance = NumpyBackend()
+        assert resolve_backend(instance) is instance
+        with pytest.raises(TypeError):
+            resolve_backend(1234)
+
+    @pytest.mark.skipif(
+        numba_backend.HAVE_NUMBA, reason="numba importable: no fallback"
+    )
+    def test_numba_absent_falls_back_with_warning(self):
+        numba_backend._warned = False
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy"):
+            backend = get_backend("numba")
+        assert backend.jit_active is False
+        # Degraded shell still computes (via the numpy baseline).
+        moduli = _chain(2 * N, 36, 2)
+        kern = kernels.ModulusKernel(moduli)
+        a, b = _limbs(moduli, N, 1), _limbs(moduli, N, 2)
+        assert np.array_equal(
+            backend.mul(kern, a, b), NumpyBackend().mul(kern, a, b)
+        )
+        # The warning fires once per process, not once per instance.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            get_backend("numba")
+
+    def test_kernel_for_lru_identity_and_stats(self):
+        q = _chain(2 * N, 36, 1)[0]
+        before = kernels.kernel_cache_stats()
+        k1 = kernel = kernels.kernel_for(q)
+        k2 = kernels.kernel_for(q)
+        assert k1 is k2
+        after = kernels.kernel_cache_stats()
+        assert after["hits"] > before["hits"]
+        assert set(after) == {"hits", "misses", "maxsize", "currsize"}
+        assert after["currsize"] <= after["maxsize"]
+        assert kernel.q == np.uint64(q)
+
+
+# -- end-to-end: planned evaluator path == legacy path -----------------------
+
+
+class TestPlannedVsLegacy:
+    def test_hmult_and_rotate_bit_exact(self):
+        """Same seed, plans on vs off: ciphertext limbs must be identical."""
+        from repro.ckks.context import CkksContext
+        from repro.ckks.ops import Evaluator
+        from repro.params.presets import build_native_ckks_params
+
+        params = build_native_ckks_params(word_bits=36, degree=1 << 10, depth=2)
+        saved = os.environ.get("REPRO_KERNEL_PLANS")
+        os.environ["REPRO_KERNEL_PLANS"] = "off"
+        try:
+            ctx_legacy = CkksContext(params, seed=11)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_KERNEL_PLANS", None)
+            else:
+                os.environ["REPRO_KERNEL_PLANS"] = saved
+        assert not ctx_legacy.ring.use_plans
+        ctx = CkksContext(params, seed=11)
+        assert ctx.ring.use_plans
+
+        rng = np.random.default_rng(3)
+        z = rng.standard_normal(params.slots) + 1j * rng.standard_normal(
+            params.slots
+        )
+        ct_a, ct_b = ctx.encrypt(z), ctx.encrypt(z)
+        la, lb = ctx_legacy.encrypt(z), ctx_legacy.encrypt(z)
+        assert np.array_equal(ct_a.c0.limbs, la.c0.limbs)
+
+        ev, ev_legacy = Evaluator(ctx), Evaluator(ctx_legacy)
+        for planned, legacy in (
+            (ev.multiply(ct_a, ct_b), ev_legacy.multiply(la, lb)),
+            (ev.rotate(ct_a, 1), ev_legacy.rotate(la, 1)),
+        ):
+            assert np.array_equal(planned.c0.limbs, legacy.c0.limbs)
+            assert np.array_equal(planned.c1.limbs, legacy.c1.limbs)
