@@ -20,14 +20,22 @@ def print_table(title, header, rows):
 
 @pytest.fixture(scope="session")
 def sharp_setting():
-    from repro.check import verify_trace
+    from repro.check import certify_schedule, verify_trace
+    from repro.core.config import sharp_config
     from repro.params.presets import build_sharp_setting
+    from repro.sched.trace import schedule_trace
     from repro.workloads.traces import evaluation_traces
 
     setting = build_sharp_setting(36)
     # Gate every benchmark session on statically-verified workloads:
     # numbers produced from a malformed trace are worse than no numbers.
+    # Scheduled forms additionally carry an equivalence certificate —
+    # any fused trace a benchmark times has been proven to preserve its
+    # source's semantics and noise floor.
+    capacity = sharp_config().onchip_capacity_bytes
     for name, trace in evaluation_traces(setting).items():
         report = verify_trace(trace, setting)
         assert report.ok, f"shipped trace {name!r} failed verification:\n{report.render()}"
+        scheduled = schedule_trace(trace, setting, capacity, fuse=True)
+        certify_schedule(trace, scheduled, setting)  # raises EquivError on drift
     return setting

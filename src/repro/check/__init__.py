@@ -21,7 +21,11 @@ Five passes, none of which execute any encryption:
 seeded violations that must all be caught.
 """
 
-from repro.check.admission import AdmissionVerdict, admit_program
+from repro.check.admission import (
+    AdmissionVerdict,
+    admit_program,
+    certify_for_execution,
+)
 from repro.check.bounds import (
     BoundCertificate,
     BoundProof,
@@ -37,6 +41,14 @@ from repro.check.ckks_check import (
     check_program,
 )
 from repro.check.diagnostics import CheckReport, Diagnostic, Severity
+from repro.check.equiv import (
+    CHECKER_VERSION,
+    EquivCertificate,
+    EquivError,
+    certify_schedule,
+    check_equivalence,
+    verify_certificate,
+)
 from repro.check.mutations import MutationCase, MutationResult, build_corpus, run_corpus
 from repro.check.noise_check import (
     NoiseCheckEvaluator,
@@ -66,6 +78,13 @@ from repro.check.wordlen_audit import (
 __all__ = [
     "AdmissionVerdict",
     "admit_program",
+    "certify_for_execution",
+    "CHECKER_VERSION",
+    "EquivCertificate",
+    "EquivError",
+    "certify_schedule",
+    "check_equivalence",
+    "verify_certificate",
     "BoundCertificate",
     "BoundProof",
     "BoundStep",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.check.ckks_check import AbstractParams, SymbolicEvaluator, check_program
 from repro.check.diagnostics import CheckReport
@@ -30,7 +30,14 @@ from repro.check.noise_check import (
     check_noise_program,
 )
 
-__all__ = ["AdmissionVerdict", "admit_program"]
+if TYPE_CHECKING:
+    from repro.check.equiv import EquivCertificate
+    from repro.hw.isa import Trace
+    from repro.params.presets import WordLengthSetting
+    from repro.sched.trace import ScheduledTrace
+    from repro.serve.program import EvalProgram
+
+__all__ = ["AdmissionVerdict", "admit_program", "certify_for_execution"]
 
 
 @dataclass(frozen=True)
@@ -127,3 +134,39 @@ def admit_program(
         noise=summary,
         verify_seconds=time.perf_counter() - t0,
     )
+
+
+def certify_for_execution(
+    program: "EvalProgram",
+    setting: "WordLengthSetting",
+    capacity_bytes: float,
+    policy: str = "belady",
+    prng_evk: bool = True,
+) -> "tuple[Trace, ScheduledTrace, EquivCertificate]":
+    """Lower, fuse, schedule, and *prove* a program for the real engine.
+
+    The one-call path the service uses: the program is lowered to its
+    source trace, scheduled with fusion enabled, and the pair is run
+    through :func:`repro.check.equiv.certify_schedule`.  Returns the
+    source trace, the schedule, and the certificate the gated executor
+    (:func:`repro.sched.execute.execute_scheduled`) demands; raises
+    :class:`repro.check.equiv.EquivError` if the transformed trace
+    cannot be proven equivalent — in which case nothing executable is
+    returned at all.
+    """
+    from repro.check.equiv import certify_schedule
+    from repro.sched.trace import schedule_trace
+
+    source = program.lower_to_trace(setting)
+    scheduled = schedule_trace(
+        source,
+        setting,
+        capacity_bytes,
+        policy=policy,
+        prng_evk=prng_evk,
+        fuse=True,
+    )
+    certificate = certify_schedule(
+        source, scheduled, setting, prng_evk=prng_evk
+    )
+    return source, scheduled, certificate

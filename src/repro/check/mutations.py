@@ -17,6 +17,7 @@ from typing import Callable
 from repro.check.bounds import certify_report
 from repro.check.ckks_check import AbstractParams, SymbolicEvaluator, check_program
 from repro.check.diagnostics import CheckReport
+from repro.check.equiv import check_equivalence
 from repro.check.noise_check import NoiseParams, check_noise_program
 from repro.check.trace_check import verify_schedule, verify_trace
 from repro.check.wordlen_audit import (
@@ -39,7 +40,7 @@ class MutationCase:
     """One known-bad artifact and the codes that must flag it."""
 
     name: str
-    kind: str  # "ssa" | "level" | "schedule" | "ckks" | "bounds" | "noise"
+    kind: str  # "ssa" | "level" | "schedule" | "ckks" | "bounds" | "noise" | "equiv"
     run: Callable[[], CheckReport]
     expect_codes: tuple[str, ...]
 
@@ -314,6 +315,242 @@ def build_corpus(setting: WordLengthSetting) -> list[MutationCase]:
             ScheduleLog(sched.log.policy, capacity, mixed),
             "kind-swap",
             ("SCH-KIND", "SCH-REPLAY"),
+        )
+    )
+
+    # -- translation-validation violations ----------------------------------
+    # Each mutant tampers with a *fused + scheduled* artifact — the
+    # transformed program the equivalence checker must refuse to certify
+    # against the clean source.  Trace mutants are re-scheduled from
+    # scratch so the schedule layer stays self-consistent and the catch
+    # is genuinely the equivalence layer's; log mutants keep the clean
+    # fused trace and forge the recorded decisions.
+    esched = schedule_trace(base, setting, capacity, fuse=True)
+    fops = esched.trace.ops
+
+    def reschedule(tampered: list[HeOp]) -> ScheduledTrace:
+        t = _mutant(base, "equiv", tampered)
+        return schedule_trace(t, setting, capacity, fuse=False)
+
+    def equiv_case(
+        name: str, mutant: ScheduledTrace, expect: tuple[str, ...]
+    ) -> MutationCase:
+        return MutationCase(
+            name,
+            "equiv",
+            lambda: check_equivalence(base, mutant, setting),
+            expect,
+        )
+
+    # Wrong operand: rewire one op's input to a different live value of
+    # the same chain position — SSA-clean, level-clean, caught only by
+    # the value-graph bisimulation.
+    tampered = [*fops]
+    swap_at = next(
+        i
+        for i, op in enumerate(tampered)
+        if i > 4
+        and op.srcs
+        and any(
+            o.dst is not None
+            and o.dst not in op.srcs
+            and o.result_limbs == _def_limbs(tampered, op.srcs[0])
+            for o in tampered[:i]
+        )
+    )
+    alt = next(
+        o.dst
+        for o in tampered[:swap_at]
+        if o.dst is not None
+        and o.dst not in tampered[swap_at].srcs
+        and o.result_limbs == _def_limbs(tampered, tampered[swap_at].srcs[0])
+    )
+    assert alt is not None
+    tampered[swap_at] = replace(
+        tampered[swap_at], srcs=(alt,) + tampered[swap_at].srcs[1:]
+    )
+    cases.append(
+        equiv_case("equiv-wrong-operand", reschedule(tampered), ("EQV-DAG",))
+    )
+
+    # Reordered dependent ops: swap a producer with its consumer.  The
+    # stale log keeps the op count so the bisimulation runs and sees a
+    # use of the value before the program defines it.
+    tampered = [*fops]
+    dep_at = next(
+        i
+        for i in range(1, len(tampered))
+        if tampered[i - 1].dst in tampered[i].srcs
+    )
+    tampered[dep_at - 1], tampered[dep_at] = tampered[dep_at], tampered[dep_at - 1]
+    reordered = ScheduledTrace(
+        trace=_mutant(base, "equiv-reorder", tampered),
+        liveness=esched.liveness,
+        log=esched.log,
+    )
+    cases.append(
+        equiv_case("equiv-reordered-ops", reordered, ("EQV-DAG", "TRC-UNDEF"))
+    )
+
+    # Dropped op: delete one fused multiply-add and wire its consumers
+    # straight through to its first operand.
+    tampered = [*fops]
+    victim_at = next(
+        i for i, op in enumerate(tampered) if op.kind is OpKind.PMADD
+    )
+    victim_dst = tampered[victim_at].dst
+    victim_src = tampered[victim_at].srcs[0]
+    assert victim_dst is not None
+    tampered.pop(victim_at)
+    tampered = [
+        replace(
+            op, srcs=tuple(victim_src if s == victim_dst else s for s in op.srcs)
+        )
+        for op in tampered
+    ]
+    cases.append(
+        equiv_case("equiv-dropped-op", reschedule(tampered), ("EQV-DAG",))
+    )
+
+    # Extra accumulation: bump one HAdd's repeat count.  Structurally
+    # and level-wise pristine — only the canonical expression's
+    # accumulation-pass count disagrees with the source.
+    tampered = [*fops]
+    hadd_at = next(
+        i for i, op in enumerate(tampered) if op.kind is OpKind.HADD
+    )
+    tampered[hadd_at] = replace(
+        tampered[hadd_at], count=tampered[hadd_at].count + 1
+    )
+    cases.append(
+        equiv_case(
+            "equiv-extra-accumulation", reschedule(tampered), ("EQV-DAG",)
+        )
+    )
+
+    # Wrong rescale alignment in a fused region: a fused op forgets its
+    # folded rescale, so its result lands one level too high.
+    tampered = [*fops]
+    fused_at = next(
+        i
+        for i, op in enumerate(tampered)
+        if op.kind in (OpKind.PMADD, OpKind.PMULT) and op.drop > 0
+    )
+    tampered[fused_at] = replace(tampered[fused_at], drop=0)
+    cases.append(
+        equiv_case(
+            "equiv-unaligned-fused-rescale",
+            reschedule(tampered),
+            ("EQV-LEVEL",),
+        )
+    )
+
+    # Scale-drift swap: two ops at different chain positions trade
+    # their rescale drops, preserving total drop but drifting every
+    # value in between.
+    tampered = [*fops]
+    drops_at = [i for i, op in enumerate(tampered) if op.drop > 0]
+    a_at, b_at = drops_at[0], drops_at[1]
+    tampered[a_at] = replace(
+        tampered[a_at], drop=tampered[a_at].drop + tampered[b_at].drop
+    )
+    tampered[b_at] = replace(tampered[b_at], drop=0)
+    cases.append(
+        equiv_case(
+            "equiv-scale-drift-swap", reschedule(tampered), ("EQV-LEVEL",)
+        )
+    )
+
+    # Wrong evaluation key: a rotation runs under a different key id.
+    tampered = [*fops]
+    rot_at = next(
+        i for i, op in enumerate(tampered) if op.kind is OpKind.HROT
+    )
+    tampered[rot_at] = replace(tampered[rot_at], key_id="rot_9999")
+    cases.append(
+        equiv_case("equiv-wrong-evk", reschedule(tampered), ("EQV-DAG",))
+    )
+
+    # Truncated trace: the scheduled artifact retires without ever
+    # computing the source output.
+    tampered = list(fops[:-1])
+    cases.append(
+        equiv_case(
+            "equiv-missing-output", reschedule(tampered), ("EQV-OUTPUT",)
+        )
+    )
+
+    # Dropped refill: the log claims a value was read on-chip at an op
+    # where the recorded decisions never brought it back.
+    def forged_equiv(events: list[ScheduleEvent]) -> ScheduledTrace:
+        return ScheduledTrace(
+            trace=esched.trace,
+            liveness=esched.liveness,
+            log=ScheduleLog(esched.log.policy, capacity, events),
+        )
+
+    events = list(esched.log.events)
+    ct_fetch_at = next(
+        i
+        for i, e in enumerate(events)
+        if any(not f.startswith("evk:") for f in e.fetched)
+    )
+    e = events[ct_fetch_at]
+    keep = next(f for f in e.fetched if not f.startswith("evk:"))
+    events[ct_fetch_at] = replace(
+        e, fetched=tuple(f for f in e.fetched if f != keep)
+    )
+    cases.append(
+        equiv_case(
+            "equiv-dropped-refill",
+            forged_equiv(events),
+            ("EQV-RESIDENCY",),
+        )
+    )
+
+    # Evicted-evk key switch: the log pretends a key switch ran while
+    # its evaluation key was never (re)fetched on-chip.
+    events = list(esched.log.events)
+    evk_fetch_at = next(
+        i
+        for i, e in enumerate(events)
+        if any(f.startswith("evk:") for f in e.fetched)
+    )
+    e = events[evk_fetch_at]
+    events[evk_fetch_at] = replace(
+        e, fetched=tuple(f for f in e.fetched if not f.startswith("evk:"))
+    )
+    cases.append(
+        equiv_case(
+            "equiv-evicted-evk-keyswitch",
+            forged_equiv(events),
+            ("EQV-EVK",),
+        )
+    )
+
+    # Hidden spill: an event's spill traffic is zeroed even though its
+    # recorded evictions wrote dirty data back.
+    events = list(esched.log.events)
+    spill_at = next(
+        i for i, e in enumerate(events) if e.spill_bytes > 0
+    )
+    events[spill_at] = replace(
+        events[spill_at], spill_bytes=0.0, writeback_bytes=0.0
+    )
+    cases.append(
+        equiv_case(
+            "equiv-hidden-spill", forged_equiv(events), ("EQV-SPILL",)
+        )
+    )
+
+    # Phantom refill: the log invents a fetch of a value the op never
+    # reads.
+    events = list(esched.log.events)
+    e = events[6]
+    events[6] = replace(e, fetched=e.fetched + ("phantom_value",))
+    cases.append(
+        equiv_case(
+            "equiv-phantom-refill", forged_equiv(events), ("EQV-SPILL",)
         )
     )
 

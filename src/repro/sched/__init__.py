@@ -18,9 +18,13 @@ from repro.sched.alloc import POLICIES, ScratchpadAllocator
 from repro.sched.events import ScheduleEvent, ScheduleLog
 from repro.sched.fusion import FusionReport, fuse_trace
 from repro.sched.liveness import LiveRange, Liveness, analyze_liveness
-from repro.sched.trace import ScheduledTrace, schedule_trace
+from repro.sched.execute import CertificateError, execute_scheduled
+from repro.sched.trace import ScheduledTrace, schedule_trace, trace_digest
 
 __all__ = [
+    "CertificateError",
+    "execute_scheduled",
+    "trace_digest",
     "POLICIES",
     "ScratchpadAllocator",
     "ScheduleEvent",

@@ -1,0 +1,100 @@
+"""Certificate-gated execution of scheduled traces on the real engine.
+
+This is the bridge the roadmap calls "close the loop": a fused +
+scratchpad-scheduled trace driving the actual CKKS evaluator instead
+of the performance simulator.  The load-bearing rule is the gate — a
+:class:`ScheduledTrace` is a *transformed* program, and this module
+refuses to let one near ciphertext until a
+:class:`repro.check.equiv.EquivCertificate` proves the transformation
+preserved the source program's semantics:
+
+* no certificate -> :class:`CertificateError`, zero evaluator calls;
+* a certificate for a *different* source or schedule (digest
+  mismatch), or from a different checker version -> same refusal.
+
+Execution itself walks the scheduled op order and replays the source
+program's evaluator calls through
+``EvalProgram.apply_op``: a fused ``PMADD`` trace op covers the
+plaintext-multiply *and* the additions it absorbed, so the walk
+advances a cursor over the source ops until each scheduled op's result
+value is materialized.  The scheduled trace never reorders surviving
+ops relative to the source (fusion is a peephole), which is exactly
+what the certificate's bisimulation layer proved — the cursor cannot
+skip or double-execute an op for a certified pair.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.check.equiv import EquivCertificate
+    from repro.ckks.cipher import Ciphertext
+    from repro.ckks.ops import Evaluator
+    from repro.hw.isa import Trace
+    from repro.sched.trace import ScheduledTrace
+    from repro.serve.program import EvalProgram
+
+__all__ = ["CertificateError", "execute_scheduled"]
+
+
+class CertificateError(RuntimeError):
+    """A scheduled trace reached the execution gate without a valid
+    equivalence certificate.  Raised before any evaluator call."""
+
+
+def execute_scheduled(
+    program: "EvalProgram",
+    source: "Trace",
+    scheduled: "ScheduledTrace",
+    evaluator: "Evaluator",
+    ct_in: "Ciphertext",
+    certificate: "EquivCertificate | None",
+) -> "Ciphertext":
+    """Run a scheduled trace on the real evaluator — gate first.
+
+    ``source`` is the unfused lowering of ``program`` (the artifact the
+    certificate's source digest binds to); ``scheduled`` is its fused +
+    allocated schedule.  The certificate is re-verified here — cheap
+    digest re-derivation — so a stale or transplanted certificate is
+    refused even if the caller believed it valid.
+    """
+    from repro.check.equiv import verify_certificate
+
+    if certificate is None:
+        raise CertificateError(
+            f"refusing to execute scheduled trace {scheduled.name!r}: "
+            "no equivalence certificate was presented"
+        )
+    gate = verify_certificate(certificate, source, scheduled)
+    if not gate.ok:
+        raise CertificateError(
+            f"refusing to execute scheduled trace {scheduled.name!r}: "
+            + "; ".join(d.message for d in gate.errors)
+        )
+
+    env: dict[str, Ciphertext] = {program.input: ct_in}
+    program_dsts = {op.dst for op in program.ops}
+    cursor = 0
+    for hop in scheduled.ops:
+        dst = hop.dst
+        if dst is None or dst not in program_dsts:
+            # A fusion-fresh intermediate (count-split PMADD mid): its
+            # work is covered when the consuming scheduled op lands.
+            continue
+        while dst not in env:
+            if cursor >= len(program.ops):
+                raise CertificateError(
+                    f"scheduled op result {dst!r} is not produced by the "
+                    "source program — certificate verification should "
+                    "have rejected this pair"
+                )
+            op = program.ops[cursor]
+            cursor += 1
+            env[op.dst] = program.apply_op(evaluator, op, env)
+    if program.output not in env:
+        raise CertificateError(
+            f"scheduled trace retired without materializing the source "
+            f"output {program.output!r}"
+        )
+    return env[program.output]

@@ -9,6 +9,8 @@ of the legacy closed-form overflow model.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass
 
@@ -19,7 +21,35 @@ from repro.sched.events import ScheduleEvent, ScheduleLog
 from repro.sched.fusion import FusionReport, fuse_trace
 from repro.sched.liveness import Liveness, analyze_liveness
 
-__all__ = ["ScheduledTrace", "schedule_trace"]
+__all__ = ["ScheduledTrace", "schedule_trace", "trace_digest"]
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of a trace: name, normalize, and every op field.
+
+    The canonical form is JSON with sorted keys, so the digest is
+    stable across processes and Python versions; two traces share a
+    digest iff they are op-for-op identical.  Equivalence certificates
+    (:mod:`repro.check.equiv`) bind to this.
+    """
+    payload = {
+        "name": trace.name,
+        "normalize": trace.normalize,
+        "ops": [
+            {
+                "kind": op.kind.value,
+                "limbs": op.limbs,
+                "drop": op.drop,
+                "key_id": op.key_id,
+                "count": op.count,
+                "dst": op.dst,
+                "srcs": list(op.srcs),
+            }
+            for op in trace.ops
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 @dataclass
@@ -63,6 +93,24 @@ class ScheduledTrace:
     @property
     def spill_bytes(self) -> float:
         return self.log.spill_bytes
+
+    def digest(self) -> str:
+        """Content digest of the whole scheduling artifact.
+
+        Covers the (possibly fused) trace, the eviction policy and
+        capacity, and the full per-op decision signature of the
+        schedule log — any tampering with an op, a fetch list, or a
+        byte count lands on a different digest.  Equivalence
+        certificates bind to this.
+        """
+        payload = {
+            "trace": trace_digest(self.trace),
+            "policy": self.log.policy,
+            "capacity_bytes": self.log.capacity_bytes,
+            "events": [list(entry) for entry in self.log.signature()],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def schedule_trace(

@@ -290,40 +290,53 @@ class EvalProgram:
             env[op.dst] = out
         return env[self.output]
 
+    @staticmethod
+    def apply_op(
+        ev: "Evaluator", op: ProgramOp, env: Mapping[str, "Ciphertext"]
+    ) -> "Ciphertext":
+        """Execute one program op against the real evaluator.
+
+        The single concrete-semantics definition of every IR kind —
+        shared by :meth:`run_concrete`, the batching server, and the
+        certificate-gated scheduled executor
+        (:func:`repro.sched.execute.execute_scheduled`), so the three
+        paths cannot drift apart.
+        """
+        a = env[op.srcs[0]]
+        if op.kind == "add":
+            return ev.add(a, env[op.srcs[1]])
+        if op.kind == "sub":
+            return ev.sub(a, env[op.srcs[1]])
+        if op.kind == "add_matched":
+            a2, b2 = ev.match(a, env[op.srcs[1]])
+            return ev.add(a2, b2)
+        if op.kind == "sub_matched":
+            a2, b2 = ev.match(a, env[op.srcs[1]])
+            return ev.sub(a2, b2)
+        if op.kind == "multiply":
+            return ev.multiply(a, env[op.srcs[1]])
+        if op.kind == "square":
+            return ev.square(a)
+        if op.kind == "negate":
+            return ev.negate(a)
+        if op.kind == "multiply_scalar":
+            assert op.value is not None
+            return ev.multiply_scalar(a, op.value)
+        if op.kind == "add_scalar":
+            assert op.value is not None
+            return ev.add_scalar(a, op.value)
+        if op.kind == "rotate":
+            return ev.rotate(a, op.amount if op.amount is not None else 1)
+        if op.kind == "conjugate":
+            return ev.conjugate(a)
+        assert op.kind == "consume_level", f"unknown op kind {op.kind!r}"
+        return ev.consume_level(a)
+
     def run_concrete(self, ev: "Evaluator", ct_in: "Ciphertext") -> "Ciphertext":
         """Execute on ciphertext — only reachable through admission."""
         env: dict[str, Ciphertext] = {self.input: ct_in}
         for op in self.ops:
-            a = env[op.srcs[0]]
-            if op.kind == "add":
-                out = ev.add(a, env[op.srcs[1]])
-            elif op.kind == "sub":
-                out = ev.sub(a, env[op.srcs[1]])
-            elif op.kind == "add_matched":
-                a2, b2 = ev.match(a, env[op.srcs[1]])
-                out = ev.add(a2, b2)
-            elif op.kind == "sub_matched":
-                a2, b2 = ev.match(a, env[op.srcs[1]])
-                out = ev.sub(a2, b2)
-            elif op.kind == "multiply":
-                out = ev.multiply(a, env[op.srcs[1]])
-            elif op.kind == "square":
-                out = ev.square(a)
-            elif op.kind == "negate":
-                out = ev.negate(a)
-            elif op.kind == "multiply_scalar":
-                assert op.value is not None
-                out = ev.multiply_scalar(a, op.value)
-            elif op.kind == "add_scalar":
-                assert op.value is not None
-                out = ev.add_scalar(a, op.value)
-            elif op.kind == "rotate":
-                out = ev.rotate(a, op.amount if op.amount is not None else 1)
-            elif op.kind == "conjugate":
-                out = ev.conjugate(a)
-            else:  # consume_level
-                out = ev.consume_level(a)
-            env[op.dst] = out
+            env[op.dst] = self.apply_op(ev, op, env)
         return env[self.output]
 
     def lower_to_trace(self, setting: "WordLengthSetting") -> "Trace":

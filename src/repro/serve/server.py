@@ -16,10 +16,13 @@ Request lifecycle (the load-bearing design point is step 3):
 4. **batch** — admitted jobs wait up to ``batch_window`` seconds for
    lane-mates with the same ``(word_bits, program digest)`` batch key,
    then :func:`repro.serve.batching.plan_batches` packs them;
-5. **execute** — the program body is lowered to an HE-op trace,
-   scheduled by :func:`repro.sched.schedule_trace` against the
-   configured on-chip capacity, and the evaluator walks the scheduled
-   op order; ingress/egress key switches bridge tenant and batch keys;
+5. **execute** — the program body is lowered to an HE-op trace, fused
+   and scheduled by :func:`repro.sched.schedule_trace` against the
+   configured on-chip capacity, *proven equivalent to the source
+   lowering* by :mod:`repro.check.equiv` (certificates are cached per
+   program digest), and only then run through the certificate-gated
+   executor :func:`repro.sched.execute.execute_scheduled`;
+   ingress/egress key switches bridge tenant and batch keys;
 6. **respond** — each tenant gets its masked lane back under its own
    key, with per-request metrics (queue wait, verify time, execute
    time, batch occupancy) echoed in the result metadata and aggregated
@@ -41,7 +44,10 @@ from repro.serve.program import EvalProgram, ProgramError
 from repro.serve.session import TenantSession
 
 if TYPE_CHECKING:
+    from repro.check.equiv import EquivCertificate
     from repro.ckks.cipher import Ciphertext
+    from repro.hw.isa import Trace
+    from repro.sched.trace import ScheduledTrace
 
 __all__ = ["FheServer", "ServerMetrics"]
 
@@ -65,6 +71,7 @@ class ServerMetrics:
     jobs_failed: int = 0
     engine_invocations: int = 0  # evaluator ops run for job execution
     batches_executed: int = 0
+    schedules_certified: int = 0  # equivalence certificates minted
     verify_seconds_total: float = 0.0
     queue_wait: list[float] = field(default_factory=list)
     execute_seconds: list[float] = field(default_factory=list)
@@ -85,6 +92,7 @@ class ServerMetrics:
             },
             "engine_invocations": self.engine_invocations,
             "batches_executed": self.batches_executed,
+            "schedules_certified": self.schedules_certified,
             "verify_seconds_total": self.verify_seconds_total,
             "latency_p50_s": _percentile(self.total_latency, 0.50),
             "latency_p95_s": _percentile(self.total_latency, 0.95),
@@ -127,6 +135,9 @@ class FheServer:
         self.min_floor_bits = min_floor_bits
         self.metrics = ServerMetrics()
         self.sessions: dict[str, TenantSession] = {}
+        self._certified: dict[
+            "tuple[int, str]", "tuple[Trace, ScheduledTrace, EquivCertificate]"
+        ] = {}
         self._queue: asyncio.Queue[_PendingJob] = asyncio.Queue()
         self._server: asyncio.AbstractServer | None = None
         self._worker: asyncio.Task[None] | None = None
@@ -475,64 +486,51 @@ class FheServer:
             results.append(lane_ct)
         return results
 
+    def _certified_schedule(
+        self, preset: ServePreset, program: EvalProgram
+    ) -> "tuple[Trace, ScheduledTrace, EquivCertificate]":
+        """Lower, fuse, schedule, and certify — cached per program digest.
+
+        Certification is static work, so programs that batch repeatedly
+        (the common case: equal digests share a batch key) pay for the
+        equivalence proof once and re-verify only the cheap digest gate
+        on every execution.
+        """
+        from repro.check.admission import certify_for_execution
+        from repro.core.config import sharp_config
+        from repro.params.presets import build_sharp_setting
+
+        key = (preset.word_bits, program.digest())
+        cached = self._certified.get(key)
+        if cached is None:
+            setting = build_sharp_setting(preset.word_bits)
+            cached = certify_for_execution(
+                program, setting, sharp_config().onchip_capacity_bytes
+            )
+            self._certified[key] = cached
+            self.metrics.schedules_certified += 1
+        return cached
+
     def _execute_scheduled(
         self, preset: ServePreset, program: EvalProgram, packed: "Ciphertext"
     ) -> "Ciphertext":
-        """Run the program body in the scheduler's op order.
+        """Run the program body through the certificate-gated executor.
 
-        The body is lowered to an HE-op trace and scheduled against the
-        configured on-chip capacity first — execution then walks the
-        scheduled op sequence, so the service exercises the same path
-        the accelerator model costs out.
+        The body is lowered to an HE-op trace, fused, and scheduled
+        against the configured on-chip capacity; the resulting
+        ``ScheduledTrace`` is *proven equivalent* to the source lowering
+        by :mod:`repro.check.equiv` before
+        :func:`repro.sched.execute.execute_scheduled` lets it drive the
+        evaluator — an uncertified schedule cannot reach ciphertext.
         """
-        from repro.core.config import sharp_config
-        from repro.params.presets import build_sharp_setting
-        from repro.sched import schedule_trace
+        from repro.sched.execute import execute_scheduled
 
-        setting = build_sharp_setting(preset.word_bits)
-        trace = program.lower_to_trace(setting)
-        scheduled = schedule_trace(
-            trace, setting, sharp_config().onchip_capacity_bytes
+        source, scheduled, certificate = self._certified_schedule(preset, program)
+        out = execute_scheduled(
+            program, source, scheduled, preset.evaluator, packed, certificate
         )
-        by_dst = {op.dst: op for op in program.ops}
-
-        ev = preset.evaluator
-        env: dict[str, Ciphertext] = {program.input: packed}
-        for hop in scheduled.ops:
-            assert hop.dst is not None
-            op = by_dst[hop.dst]
-            a = env[op.srcs[0]]
-            if op.kind == "add":
-                out = ev.add(a, env[op.srcs[1]])
-            elif op.kind == "sub":
-                out = ev.sub(a, env[op.srcs[1]])
-            elif op.kind == "add_matched":
-                a2, b2 = ev.match(a, env[op.srcs[1]])
-                out = ev.add(a2, b2)
-            elif op.kind == "sub_matched":
-                a2, b2 = ev.match(a, env[op.srcs[1]])
-                out = ev.sub(a2, b2)
-            elif op.kind == "multiply":
-                out = ev.multiply(a, env[op.srcs[1]])
-            elif op.kind == "square":
-                out = ev.square(a)
-            elif op.kind == "negate":
-                out = ev.negate(a)
-            elif op.kind == "multiply_scalar":
-                assert op.value is not None
-                out = ev.multiply_scalar(a, op.value)
-            elif op.kind == "add_scalar":
-                assert op.value is not None
-                out = ev.add_scalar(a, op.value)
-            elif op.kind == "rotate":
-                out = ev.rotate(a, op.amount if op.amount is not None else 1)
-            elif op.kind == "conjugate":
-                out = ev.conjugate(a)
-            else:  # consume_level
-                out = ev.consume_level(a)
-            env[op.dst] = out
-            self.metrics.engine_invocations += 1
-        return env[program.output]
+        self.metrics.engine_invocations += len(program.ops)
+        return out
 
     # -- misc ----------------------------------------------------------------
 

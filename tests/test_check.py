@@ -299,7 +299,7 @@ class TestCkksDiagnostics:
 class TestMutationCorpus:
     def test_corpus_is_broad(self, setting):
         corpus = build_corpus(setting)
-        assert len(corpus) >= 20
+        assert len(corpus) >= 35
         assert {c.kind for c in corpus} == {
             "ssa",
             "level",
@@ -307,7 +307,10 @@ class TestMutationCorpus:
             "ckks",
             "bounds",
             "noise",
+            "equiv",
         }
+        # The translation-validation mutants are a corpus of their own.
+        assert sum(1 for c in corpus if c.kind == "equiv") >= 8
 
     def test_every_mutation_is_caught(self, setting):
         results = run_corpus(setting)

@@ -1,0 +1,368 @@
+"""Tests for repro.check.equiv — translation validation of schedules.
+
+Covers the acceptance criteria of the translation-validation gate:
+zero false positives over every shipped workload trace (both rescale
+modes, both eviction policies), detection of *any* single-op schedule
+perturbation, certificate serialization and digest binding, the
+certificate-gated real-engine executor, and Hypothesis properties over
+random serve programs (fuse + schedule always certifies; a perturbed
+schedule never does).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check import (
+    CHECKER_VERSION,
+    EquivCertificate,
+    EquivError,
+    certify_for_execution,
+    certify_schedule,
+    check_equivalence,
+    verify_certificate,
+)
+from repro.core.config import sharp_config
+from repro.hw.isa import OpKind, Trace
+from repro.params.presets import build_sharp_setting
+from repro.sched import (
+    CertificateError,
+    execute_scheduled,
+    schedule_trace,
+    trace_digest,
+)
+from repro.sched.events import ScheduleLog
+from repro.sched.trace import ScheduledTrace
+from repro.serve.program import EvalProgram, ProgramBuilder
+from repro.workloads.traces import evaluation_traces
+
+WORKLOADS = ("bootstrap", "helr256", "helr1024", "resnet20", "sorting")
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return build_sharp_setting(36)
+
+
+@pytest.fixture(scope="module")
+def capacity():
+    return sharp_config().onchip_capacity_bytes
+
+
+@pytest.fixture(scope="module")
+def pair(setting):
+    """A fused + scheduled HELR trace at a spill-inducing capacity."""
+    trace = evaluation_traces(setting, explicit_rescale=True)["helr256"]
+    tight = setting.evk_bytes(prng=True) * 3.0
+    sched = schedule_trace(trace, setting, tight, fuse=True)
+    return trace, sched
+
+
+def forged(sched: ScheduledTrace, ops) -> ScheduledTrace:
+    """The same schedule with a tampered op list (log kept verbatim)."""
+    return ScheduledTrace(
+        trace=Trace(
+            name=sched.trace.name, ops=list(ops), normalize=sched.trace.normalize
+        ),
+        liveness=sched.liveness,
+        log=sched.log,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Zero false positives on everything we ship
+# ---------------------------------------------------------------------------
+
+
+class TestZeroFalsePositives:
+    @pytest.mark.parametrize("explicit_rescale", [False, True])
+    @pytest.mark.parametrize("policy", ["belady", "lru"])
+    def test_every_workload_certifies(
+        self, setting, capacity, explicit_rescale, policy
+    ):
+        traces = evaluation_traces(setting, explicit_rescale=explicit_rescale)
+        assert set(traces) == set(WORKLOADS)
+        for name, trace in traces.items():
+            sched = schedule_trace(
+                trace, setting, capacity, policy=policy, fuse=True
+            )
+            certificate = certify_schedule(trace, sched, setting)
+            assert certificate.checker_version == CHECKER_VERSION
+            assert certificate.source_digest == trace_digest(trace)
+            assert certificate.schedule_digest == sched.digest()
+            # The proven floor must never weaken across the transform.
+            assert (
+                certificate.scheduled_floor_bits
+                >= certificate.source_floor_bits - 0.01
+            ), name
+
+    def test_fusion_is_actually_exercised(self, setting, capacity):
+        trace = evaluation_traces(setting, explicit_rescale=True)["sorting"]
+        sched = schedule_trace(trace, setting, capacity, fuse=True)
+        assert len(sched.trace.ops) < len(trace.ops)
+        certify_schedule(trace, sched, setting)
+
+    def test_tight_capacity_spilling_schedule_certifies(self, setting, pair):
+        trace, sched = pair
+        assert sched.log.spill_bytes > 0  # the replay layer has real work
+        report = check_equivalence(trace, sched, setting)
+        assert report.ok, report.render()
+
+
+# ---------------------------------------------------------------------------
+# Every single-op perturbation is flagged
+# ---------------------------------------------------------------------------
+
+
+class TestPerturbations:
+    def test_every_count_bump_is_flagged(self, setting, pair):
+        """Exhaustive: one extra accumulation pass anywhere is caught."""
+        trace, sched = pair
+        base_ops = list(sched.trace.ops)
+        missed = []
+        for i, op in enumerate(base_ops):
+            if op.kind is OpKind.RESCALE:
+                continue  # counts are meaningless on a pure level drop
+            ops = list(base_ops)
+            ops[i] = replace(op, count=op.count + 1)
+            if check_equivalence(trace, forged(sched, ops), setting).ok:
+                missed.append((i, op.kind.value))
+        assert not missed, f"accepted perturbed schedules: {missed}"
+
+    def test_operand_rewire_is_flagged(self, setting, pair):
+        trace, sched = pair
+        ops = list(sched.trace.ops)
+        limbs_at = {}
+        target = None
+        for i, op in enumerate(ops):
+            for s in op.srcs:
+                alt = limbs_at.get(op.limbs)
+                if alt is not None and alt != s and target is None:
+                    target = (i, s, alt)
+            if op.dst is not None:
+                limbs_at[op.limbs] = op.dst
+        assert target is not None
+        i, old, new = target
+        ops[i] = replace(
+            ops[i], srcs=tuple(new if s == old else s for s in ops[i].srcs)
+        )
+        report = check_equivalence(trace, forged(sched, ops), setting)
+        assert "EQV-DAG" in report.error_codes()
+
+    def test_rescale_misalignment_is_flagged(self, setting, pair):
+        trace, sched = pair
+        ops = list(sched.trace.ops)
+        at = next(
+            i
+            for i, op in enumerate(ops)
+            if op.kind in (OpKind.PMADD, OpKind.PMULT) and op.drop > 0
+        )
+        ops[at] = replace(ops[at], drop=0)
+        report = check_equivalence(trace, forged(sched, ops), setting)
+        assert "EQV-LEVEL" in report.error_codes()
+
+    def test_dropped_refill_is_flagged(self, setting, pair):
+        trace, sched = pair
+        events = list(sched.log.events)
+        at = next(
+            i
+            for i, e in enumerate(events)
+            if any(not f.startswith("evk:") for f in e.fetched)
+        )
+        keep = next(f for f in events[at].fetched if not f.startswith("evk:"))
+        events[at] = replace(
+            events[at],
+            fetched=tuple(f for f in events[at].fetched if f != keep),
+        )
+        mutant = ScheduledTrace(
+            trace=sched.trace,
+            liveness=sched.liveness,
+            log=ScheduleLog(sched.log.policy, sched.log.capacity_bytes, events),
+        )
+        report = check_equivalence(trace, mutant, setting)
+        assert {"EQV-RESIDENCY", "EQV-SPILL"} & report.error_codes()
+
+    def test_hidden_spill_is_flagged(self, setting, pair):
+        trace, sched = pair
+        events = list(sched.log.events)
+        at = next(i for i, e in enumerate(events) if e.spill_bytes > 0)
+        events[at] = replace(events[at], spill_bytes=0.0, writeback_bytes=0.0)
+        mutant = ScheduledTrace(
+            trace=sched.trace,
+            liveness=sched.liveness,
+            log=ScheduleLog(sched.log.policy, sched.log.capacity_bytes, events),
+        )
+        report = check_equivalence(trace, mutant, setting)
+        assert "EQV-SPILL" in report.error_codes()
+
+
+# ---------------------------------------------------------------------------
+# Certificates: serialization + digest binding
+# ---------------------------------------------------------------------------
+
+
+class TestCertificate:
+    def test_json_round_trip(self, setting, pair):
+        trace, sched = pair
+        certificate = certify_schedule(trace, sched, setting)
+        again = EquivCertificate.from_json(certificate.to_json())
+        assert again == certificate
+        assert verify_certificate(again, trace, sched).ok
+
+    def test_transplanted_certificate_is_refused(self, setting, capacity):
+        traces = evaluation_traces(setting)
+        pairs = {}
+        for name in ("bootstrap", "helr256"):
+            sched = schedule_trace(traces[name], setting, capacity, fuse=True)
+            pairs[name] = (traces[name], sched)
+        certificate = certify_schedule(*pairs["bootstrap"], setting)
+        report = verify_certificate(certificate, *pairs["helr256"])
+        assert "EQV-CERT" in report.error_codes()
+
+    def test_version_drift_is_refused(self, setting, pair):
+        trace, sched = pair
+        certificate = certify_schedule(trace, sched, setting)
+        stale = replace(certificate, checker_version="equiv-0")
+        report = verify_certificate(stale, trace, sched)
+        assert "EQV-CERT" in report.error_codes()
+
+    def test_certify_raises_on_tampered_schedule(self, setting, pair):
+        trace, sched = pair
+        ops = list(sched.trace.ops)
+        ops[0] = replace(ops[0], count=ops[0].count + 1)
+        with pytest.raises(EquivError) as excinfo:
+            certify_schedule(trace, forged(sched, ops), setting)
+        assert not excinfo.value.report.ok
+
+
+# ---------------------------------------------------------------------------
+# The execution gate
+# ---------------------------------------------------------------------------
+
+
+def _poly_program() -> EvalProgram:
+    b = ProgramBuilder("gatepoly")
+    x = b.input
+    half = b.multiply_scalar(b.square(x), 0.5)
+    return b.build(b.add_matched(half, x))
+
+
+class TestGatedExecution:
+    def test_no_certificate_no_engine(self, setting, capacity):
+        program = _poly_program()
+        source, scheduled, _ = certify_for_execution(program, setting, capacity)
+        # evaluator=None proves the gate fires before any engine call.
+        with pytest.raises(CertificateError, match="no equivalence certificate"):
+            execute_scheduled(program, source, scheduled, None, None, None)
+
+    def test_forged_certificate_is_refused(self, setting, capacity):
+        program = _poly_program()
+        source, scheduled, certificate = certify_for_execution(
+            program, setting, capacity
+        )
+        forged_cert = replace(certificate, schedule_digest="0" * 64)
+        with pytest.raises(CertificateError):
+            execute_scheduled(
+                program, source, scheduled, None, None, forged_cert
+            )
+
+    def test_transplanted_certificate_is_refused(self, setting, capacity):
+        program = _poly_program()
+        source, scheduled, _ = certify_for_execution(program, setting, capacity)
+        b = ProgramBuilder("other")
+        other = b.build(b.negate(b.input))
+        _, _, other_cert = certify_for_execution(other, setting, capacity)
+        with pytest.raises(CertificateError):
+            execute_scheduled(
+                program, source, scheduled, None, None, other_cert
+            )
+
+    def test_certified_execution_matches_reference(
+        self, setting, capacity, small_context, small_evaluator, rng
+    ):
+        program = _poly_program()
+        source, scheduled, certificate = certify_for_execution(
+            program, setting, capacity
+        )
+        m = rng.uniform(-1, 1, 256)
+        ct = small_context.encrypt(m)
+        out = execute_scheduled(
+            program, source, scheduled, small_evaluator, ct, certificate
+        )
+        got = np.real(small_context.decrypt(out))
+        expected = 0.5 * m * m + m
+        assert np.max(np.abs(got - expected)) < 1e-2
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random serve programs always certify; perturbed never do
+# ---------------------------------------------------------------------------
+
+_UNARY = ("square", "mul_scalar", "negate", "conjugate", "add_self")
+
+
+def _random_program(choices: list[str]) -> EvalProgram:
+    """A deterministic program from a Hypothesis-drawn op sequence."""
+    b = ProgramBuilder("hyp")
+    cur = b.input
+    mults = 0
+    for i, choice in enumerate(choices):
+        if choice == "square":
+            if mults >= 3:
+                continue  # stay well inside the level budget
+            cur = b.square(cur)
+            mults += 1
+        elif choice == "mul_scalar":
+            if mults >= 3:
+                continue
+            cur = b.multiply_scalar(cur, 0.5 + 0.25 * (i % 3))
+            mults += 1
+        elif choice == "negate":
+            cur = b.negate(cur)
+        elif choice == "conjugate":
+            cur = b.conjugate(cur)
+        else:  # add_self
+            cur = b.add_matched(cur, cur)
+    return b.build(cur)
+
+
+@st.composite
+def program_traces(draw):
+    choices = draw(
+        st.lists(st.sampled_from(_UNARY), min_size=1, max_size=8)
+    )
+    return _random_program(choices)
+
+
+class TestHypothesis:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(program=program_traces())
+    def test_random_programs_certify(self, setting, capacity, program):
+        source, scheduled, certificate = certify_for_execution(
+            program, setting, capacity
+        )
+        assert verify_certificate(certificate, source, scheduled).ok
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(program=program_traces(), data=st.data())
+    def test_any_perturbation_is_flagged(self, setting, capacity, program, data):
+        source, scheduled, _ = certify_for_execution(program, setting, capacity)
+        ops = list(scheduled.trace.ops)
+        targets = [
+            i for i, op in enumerate(ops) if op.kind is not OpKind.RESCALE
+        ]
+        at = data.draw(st.sampled_from(targets))
+        ops[at] = replace(ops[at], count=ops[at].count + 1)
+        report = check_equivalence(source, forged(scheduled, ops), setting)
+        assert not report.ok
