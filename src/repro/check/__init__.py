@@ -15,10 +15,17 @@ Five passes, none of which execute any encryption:
   with the empirical executor via :mod:`repro.ckks.calibration`;
 * :mod:`repro.check.wordlen_audit` — the word-length robustness sweep
   that statically re-derives Table 2 / Fig. 1 and re-derives any
-  externally-presented precision claims.
+  externally-presented precision claims;
+* :mod:`repro.check.secflow` — whole-stack information-flow
+  verification: an interprocedural taint analysis proving secret key
+  material, sampling state, and pre-encryption plaintexts cannot reach
+  a wire frame, log line, exception, repr, metrics counter, or JSON
+  artifact, with every declassification point allow-listed *and*
+  re-checked against the RLWE masking discipline.
 
 :mod:`repro.check.mutations` keeps the verifier honest: a corpus of
-seeded violations that must all be caught.
+seeded violations (including injected secret leaks) that must all be
+caught.
 """
 
 from repro.check.admission import (
@@ -49,7 +56,18 @@ from repro.check.equiv import (
     check_equivalence,
     verify_certificate,
 )
-from repro.check.mutations import MutationCase, MutationResult, build_corpus, run_corpus
+from repro.check.mutations import (
+    MutationCase,
+    MutationResult,
+    build_corpus,
+    run_corpus,
+    secflow_cases,
+)
+from repro.check.secflow import (
+    check_default as secflow_check_default,
+    check_source as secflow_check_source,
+    check_sources as secflow_check_sources,
+)
 from repro.check.noise_check import (
     NoiseCheckEvaluator,
     NoiseParams,
@@ -102,6 +120,10 @@ __all__ = [
     "MutationResult",
     "build_corpus",
     "run_corpus",
+    "secflow_cases",
+    "secflow_check_default",
+    "secflow_check_source",
+    "secflow_check_sources",
     "ChainRegion",
     "chain_regions",
     "verify_schedule",

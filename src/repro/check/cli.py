@@ -25,11 +25,18 @@ Runs all passes without executing any encryption:
    fused + scheduled at the SHARP capacity and the pair must *certify*
    (value-graph bisimulation, level/scale and noise-floor preservation,
    scratchpad dataflow replay), plus a tampered negative control that
-   must be refused.
+   must be refused;
+7. **secflow** — information-flow verification: the whole serve/ckks
+   stack is taint-analyzed to prove no secret key material, sampling
+   seed, or pre-encryption plaintext reaches a wire frame, log line,
+   exception, repr, metrics counter, or JSON artifact; the seeded
+   leak-mutant corpus doubles as the pass's negative control (every
+   injected leak must be caught).
 
 ``--equiv`` runs only pass 6 — the fast gating surface CI uses to
 refuse any scheduled trace that cannot be proven equivalent to its
-source.  ``--json PATH`` additionally writes the whole run as a
+source.  ``--secflow`` likewise runs only pass 7, the information-flow
+gate.  ``--json PATH`` additionally writes the whole run as a
 machine-readable report (``-`` for stdout, human output moves to
 stderr), including per-chain kernel bound headrooms (the float chains
 among them) and the equiv certificates; ``--summary-md PATH`` writes a
@@ -149,6 +156,25 @@ def render_markdown_summary(payload: dict) -> str:
             )
         control = "caught" if equiv["tamper_control_caught"] else "**MISSED**"
         lines.append(f"\nTampered-schedule negative control: {control}.")
+    secflow = payload.get("secflow")
+    if secflow:
+        status = "clean" if secflow["clean"] else "**LEAKS FOUND**"
+        lines += [
+            "",
+            "### Information-flow verification (secflow)",
+            "",
+            f"{len(secflow['modules'])} modules analyzed: {status}.",
+        ]
+        for diag in secflow["diagnostics"]:
+            lines.append(f"- `{diag['code']}`: {diag['message']}")
+        if secflow["corpus_cases"]:
+            rate = secflow["corpus_caught"] / secflow["corpus_cases"]
+            control = "holds" if rate == 1.0 else "**BROKEN**"
+            lines.append(
+                f"\nSeeded leak corpus: {secflow['corpus_caught']}/"
+                f"{secflow['corpus_cases']} caught ({rate:.0%}) — "
+                f"negative control {control}."
+            )
     audit = payload.get("noise_audit")
     if audit:
         lines += [
@@ -204,6 +230,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "certificates for every shipped workload trace)",
     )
     parser.add_argument(
+        "--secflow",
+        action="store_true",
+        help="run only the information-flow pass (secret material must "
+        "be unreachable from wire/log/artifact sinks)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -228,7 +260,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     noise_audit_payload: dict | None = None
     bounds_payload: dict | None = None
     equiv_payload: dict | None = None
-    run_full = not args.equiv
+    secflow_payload: dict | None = None
+    run_full = not args.equiv and not args.secflow
 
     def gate(pass_name: str, subject: str, ok: bool) -> bool:
         gates.append({"pass": pass_name, "subject": subject, "ok": bool(ok)})
@@ -320,15 +353,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
 
     # -- pass 2: shipped traces + schedules --------------------------------
-    # Imported lazily: building the Set_k chain costs a prime search.
-    from repro.core.config import sharp_config
-    from repro.params.presets import build_sharp_setting
-    from repro.sched.fusion import fuse_trace
-    from repro.sched.trace import schedule_trace
-    from repro.workloads.traces import evaluation_traces
+    # Imported lazily: building the Set_k chain costs a prime search —
+    # skipped entirely on the --secflow fast surface.
+    if not args.secflow:
+        from repro.core.config import sharp_config
+        from repro.params.presets import build_sharp_setting
+        from repro.sched.fusion import fuse_trace
+        from repro.sched.trace import schedule_trace
+        from repro.workloads.traces import evaluation_traces
 
-    setting = build_sharp_setting(args.setting_bits)
-    capacity = sharp_config().onchip_capacity_bytes
+        setting = build_sharp_setting(args.setting_bits)
+        capacity = sharp_config().onchip_capacity_bytes
 
     if run_full:
         for variant, traces in (
@@ -480,7 +515,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     equiv_entries: list[dict] = []
     control_pair: tuple[Trace, ScheduledTrace] | None = None
-    for variant, explicit in (("", False), ("+rescale", True)):
+    variants = () if args.secflow else (("", False), ("+rescale", True))
+    for variant, explicit in variants:
         for name, trace in evaluation_traces(
             setting, explicit_rescale=explicit
         ).items():
@@ -538,19 +574,71 @@ def main(argv: Sequence[str] | None = None) -> int:
             log=sched.log,
         )
         control_caught = not check_equivalence(src, forged, setting).ok
-    if not gate("equiv", "tamper-control (must refuse)", control_caught):
-        failures += 1
-        lines.append(
-            "[equiv] tamper-control: a forged schedule CERTIFIED — "
-            "the bisimulation lost its teeth"
+    if not args.secflow:
+        if not gate("equiv", "tamper-control (must refuse)", control_caught):
+            failures += 1
+            lines.append(
+                "[equiv] tamper-control: a forged schedule CERTIFIED — "
+                "the bisimulation lost its teeth"
+            )
+        else:
+            lines.append(
+                "[equiv] tamper-control: forged schedule refused (as it must be)"
+            )
+        equiv_payload = {
+            "checker_version": CHECKER_VERSION,
+            "entries": equiv_entries,
+            "tamper_control_caught": control_caught,
+        }
+
+    # -- pass 7: information-flow verification -----------------------------
+    if not args.equiv:
+        from repro.check.mutations import secflow_cases
+        from repro.check.secflow import DEFAULT_MODULES, check_default
+
+        secflow_report = check_default()
+        secflow_report.subject = f"{len(DEFAULT_MODULES)} modules"
+        gate_report(secflow_report, args.verbose)
+        leak_results = (
+            []
+            if run_full and args.skip_mutations
+            else [(case, case.run()) for case in secflow_cases()]
         )
-    else:
-        lines.append("[equiv] tamper-control: forged schedule refused (as it must be)")
-    equiv_payload = {
-        "checker_version": CHECKER_VERSION,
-        "entries": equiv_entries,
-        "tamper_control_caught": control_caught,
-    }
+        leak_caught = sum(
+            1
+            for case, rep in leak_results
+            if rep.error_codes() & set(case.expect_codes)
+        )
+        if leak_results:
+            # The leak corpus is this pass's negative control: an
+            # analyzer that flags nothing and catches nothing must not
+            # gate anything.
+            if not gate(
+                "secflow",
+                f"leak corpus ({leak_caught}/{len(leak_results)} caught)",
+                leak_caught == len(leak_results),
+            ):
+                failures += 1
+                for case, rep in leak_results:
+                    if not rep.error_codes() & set(case.expect_codes):
+                        lines.append(
+                            f"[secflow] MISSED {case.name}: expected "
+                            f"{case.expect_codes}, saw "
+                            f"{sorted(rep.codes()) or 'nothing'}"
+                        )
+            else:
+                lines.append(
+                    f"[secflow] leak corpus: {leak_caught}/"
+                    f"{len(leak_results)} injected leaks caught "
+                    "(negative control holds)"
+                )
+        secflow_payload = {
+            "modules": list(DEFAULT_MODULES),
+            "clean": secflow_report.ok,
+            "diagnostics": [d.to_dict() for d in secflow_report.diagnostics],
+            "corpus_cases": len(leak_results),
+            "corpus_caught": leak_caught,
+        }
 
     elapsed = time.perf_counter() - started
     verdict = "PASS" if failures == 0 else f"FAIL ({failures} gate(s))"
@@ -564,6 +652,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "noise_audit": noise_audit_payload,
         "bounds": bounds_payload,
         "equiv": equiv_payload,
+        "secflow": secflow_payload,
     }
 
     human_out = sys.stderr if args.json == "-" else sys.stdout

@@ -32,7 +32,13 @@ from repro.sched.events import ScheduleEvent, ScheduleLog
 from repro.sched.trace import ScheduledTrace, schedule_trace
 from repro.workloads.traces import helr_trace
 
-__all__ = ["MutationCase", "MutationResult", "build_corpus", "run_corpus"]
+__all__ = [
+    "MutationCase",
+    "MutationResult",
+    "build_corpus",
+    "run_corpus",
+    "secflow_cases",
+]
 
 
 @dataclass(frozen=True)
@@ -40,7 +46,7 @@ class MutationCase:
     """One known-bad artifact and the codes that must flag it."""
 
     name: str
-    kind: str  # "ssa" | "level" | "schedule" | "ckks" | "bounds" | "noise" | "equiv"
+    kind: str  # "ssa" | "level" | "schedule" | "ckks" | "bounds" | "noise" | "equiv" | "secflow"
     run: Callable[[], CheckReport]
     expect_codes: tuple[str, ...]
 
@@ -686,6 +692,151 @@ def build_corpus(setting: WordLengthSetting) -> list[MutationCase]:
                 ]
             ),
             ("NOISE-CLAIM",),
+        )
+    )
+
+    cases.extend(secflow_cases())
+    return cases
+
+
+def secflow_cases() -> list[MutationCase]:
+    """Seeded information-flow leaks: each must trip the secflow pass.
+
+    Every case is a surgical source mutation of one shipped module; the
+    analyzer re-checks the *whole* default universe with that module
+    swapped in, so interprocedural leaks (a helper in one file feeding a
+    sink in another) are exercised, not just local ones.
+    """
+    from repro.check.secflow import check_source, load_default_sources
+
+    sources = load_default_sources()
+    cases: list[MutationCase] = []
+
+    def mutate(
+        name: str,
+        module: str,
+        old: str,
+        new: str,
+        expect: tuple[str, ...],
+    ) -> None:
+        base = sources[module]
+        if old not in base:
+            raise AssertionError(
+                f"secflow corpus needle missing in {module}: {old!r}"
+            )
+        mutated = base.replace(old, new)
+        cases.append(
+            MutationCase(
+                name,
+                "secflow",
+                lambda: check_source(mutated, module),
+                expect,
+            )
+        )
+
+    # Raw secret-key limbs serialized into an ERROR frame by a debug
+    # helper — laundering through a helper must still be caught at the
+    # wire boundary.
+    mutate(
+        "secflow-secret-wire",
+        "repro.serve.server",
+        "    async def _handle(",
+        "    def _debug_dump(self, writer, word_bits):\n"
+        "        preset = self.offline.preset(word_bits)\n"
+        "        blob = wire.encode_poly(\n"
+        "            preset.context.keys.secret_poly(preset.params.moduli)\n"
+        "        )\n"
+        "        wire.write_frame(writer, wire.Kind.ERROR, blob)\n\n"
+        "    async def _handle(",
+        ("SEC-LEAK",),
+    )
+    # The client's sampling seed echoed in an exception message.
+    mutate(
+        "secflow-seed-exception",
+        "repro.serve.client",
+        'raise RuntimeError("enroll() first")',
+        'raise RuntimeError(f"enroll() first (seed={self.seed})")',
+        ("SEC-LOG", "SEC-REPR"),
+    )
+    # Secret coefficients interpolated into a server log line.
+    mutate(
+        "secflow-secret-log",
+        "repro.serve.server",
+        '"job admitted job=%s program=%s", job_id, program.digest()',
+        '"job admitted job=%s keys=%s", job_id,'
+        " preset.context.keys.secret.coeffs",
+        ("SEC-LOG",),
+    )
+    # An allow-listed declassifier lost its annotation.
+    mutate(
+        "secflow-declassifier-removed",
+        "repro.ckks.context",
+        '@declassified("RLWE public key: s is masked by a uniform pad'
+        ' and fresh noise")\n    ',
+        "",
+        ("SEC-DECLASSIFY-UNSOUND",),
+    )
+    # @declassified smuggled onto a helper the allow-list never vetted.
+    mutate(
+        "secflow-declassifier-rogue",
+        "repro.ckks.context",
+        "    def secret_poly(",
+        '    @declassified("totally fine")\n    def secret_poly(',
+        ("SEC-DECLASSIFY-UNSOUND",),
+    )
+    # An evk digit returned bare: the uniform pad and fresh noise that
+    # justify the declassification are gone.
+    mutate(
+        "secflow-mask-dropped",
+        "repro.ckks.context",
+        "b_j = -(a_j * s) + e_j + msg",
+        "b_j = msg",
+        ("SEC-DECLASSIFY-UNSOUND",),
+    )
+    # make_switch_key ships raw key digits instead of pk-encrypting
+    # them — the ceremony's central invariant, violated outside any
+    # declassifier body.
+    mutate(
+        "secflow-raw-evk",
+        "repro.ckks.context",
+        "digits.append(self.pk_encrypt_poly(msg, target_pk))",
+        "digits.append((msg, msg))",
+        ("SEC-LEAK",),
+    )
+    # Pre-encryption plaintext slots echoed into wire-visible job
+    # metadata (a TENANT leak, not a SECRET one).
+    mutate(
+        "secflow-tenant-meta-wire",
+        "repro.serve.client",
+        'wire.encode_json({"program": program.name}),',
+        'wire.encode_json({"program": program.name,'
+        ' "preview": list(message)}),',
+        ("SEC-LEAK",),
+    )
+    # Secret coefficients pushed into a metrics series that stats()
+    # later serializes.
+    mutate(
+        "secflow-secret-metrics",
+        "repro.serve.server",
+        "self.metrics.jobs_admitted += 1",
+        "self.metrics.jobs_admitted += 1\n"
+        "        self.metrics.total_latency.append("
+        "preset.context.keys.secret.coeffs)",
+        ("SEC-LEAK",),
+    )
+
+    # SecretKey's redacted __repr__ deleted: the generated dataclass
+    # repr would print every ternary coefficient.
+    base = sources["repro.ckks.context"]
+    start = base.index('def __repr__(self) -> str:\n        return f"SecretKey')
+    stop = base.index("__str__ = __repr__", start) + len("__str__ = __repr__")
+    repr_stripped = base[:start] + base[stop:]
+    cases.append(
+        MutationCase(
+            "secflow-dataclass-repr",
+            "secflow",
+            lambda: check_source(repr_stripped, "repro.ckks.context"),
+            ("SEC-REPR",),
         )
     )
     return cases

@@ -27,8 +27,16 @@ from repro.params.primes import (
 )
 from repro.rns.modmath import mod_inverse
 from repro.rns.poly import RingContext, RnsPolynomial
+from repro.secrecy import declassified, redacted_digest
 
-__all__ = ["LevelStep", "CkksParams", "KeySet", "CkksContext", "make_params"]
+__all__ = [
+    "LevelStep",
+    "CkksParams",
+    "SecretKey",
+    "KeySet",
+    "CkksContext",
+    "make_params",
+]
 
 _FAST_PRIME_BITS = 30  # SS only when the scale fits comfortably below 2^31
 _BASE_HEADROOM_BITS = 7  # base modulus margin above the scale for decode
@@ -291,6 +299,29 @@ def make_params(
     )
 
 
+@dataclass
+class SecretKey:
+    """The ternary RLWE secret — the one value that must never leave.
+
+    ``repr``/``str`` print a truncated digest only: key material must
+    not reach a log line, an exception message, or a serialized frame,
+    and the digest is the single sanctioned way to *name* a key in
+    human-readable output (:mod:`repro.check.secflow` enforces the
+    rest of that contract statically).
+    """
+
+    coeffs: np.ndarray
+
+    def digest(self) -> str:
+        """Safe-to-print fingerprint of the key (``sha256:<8 hex>``)."""
+        return redacted_digest(np.ascontiguousarray(self.coeffs).tobytes())
+
+    def __repr__(self) -> str:
+        return f"SecretKey({self.digest()}, redacted)"
+
+    __str__ = __repr__
+
+
 class KeySet:
     """Secret key plus lazily generated public/evaluation keys.
 
@@ -305,7 +336,7 @@ class KeySet:
         self.params = params
         self.ring = ring
         self.rng = rng
-        self.secret_coeffs = self._sample_secret()
+        self.secret = SecretKey(coeffs=self._sample_secret())
         self._secret_cache: dict[tuple[int, ...], RnsPolynomial] = {}
         self._evk_cache: dict[object, list[tuple[RnsPolynomial, RnsPolynomial]]] = {}
         self._public_key: tuple[RnsPolynomial, RnsPolynomial] | None = None
@@ -318,6 +349,19 @@ class KeySet:
             q_tilde = q_big // d_j
             self._g.append(q_tilde * mod_inverse(q_tilde % d_j, d_j))
         self._q_big = q_big
+
+    @property
+    def secret_coeffs(self) -> np.ndarray:
+        """The raw ternary secret coefficients (SECRET — never serialize)."""
+        return self.secret.coeffs
+
+    def __repr__(self) -> str:
+        return (
+            f"KeySet(secret={self.secret.digest()}, redacted, "
+            f"degree={self.params.degree})"
+        )
+
+    __str__ = __repr__
 
     # -- sampling ---------------------------------------------------------------
 
@@ -334,6 +378,7 @@ class KeySet:
             self.rng.normal(0.0, self.params.sigma, self.params.degree)
         ).astype(np.int64)
 
+    @declassified("uniform RLWE mask: coefficients are i.i.d. uniform mod q")
     def uniform_poly(self, moduli: tuple[int, ...]) -> RnsPolynomial:
         rows = [
             self.rng.integers(0, q, self.params.degree, dtype=np.uint64)
@@ -358,6 +403,10 @@ class KeySet:
             self._secret_cache[key] = poly
         return poly
 
+    @declassified(
+        "hybrid ksk digit: P*g_j*s_src is masked by -a_j*s + e_j "
+        "(uniform pad plus fresh noise)"
+    )
     def _make_evk(self, src_secret: RnsPolynomial) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
         """Key-switching key from ``src_secret`` to the main secret."""
         params = self.params
@@ -394,6 +443,7 @@ class KeySet:
 
     # -- public-key material (the repro.serve key ceremony) ----------------------
 
+    @declassified("RLWE public key: s is masked by a uniform pad and fresh noise")
     def public_key(self) -> tuple[RnsPolynomial, RnsPolynomial]:
         """RLWE public key ``(b, a) = (-a*s + e, a)`` over the full basis.
 
@@ -418,6 +468,9 @@ class KeySet:
         coeffs[idx] = self.rng.choice((-1, 1), size=h)
         return RnsPolynomial.from_int_coeffs(self.ring, moduli, coeffs).to_ntt()
 
+    @declassified(
+        "public-key RLWE encryption: msg is masked by v*pk + fresh noise"
+    )
     def pk_encrypt_poly(
         self,
         msg: RnsPolynomial,
@@ -502,6 +555,7 @@ class CkksContext:
 
     # -- encryption ---------------------------------------------------------------
 
+    @declassified("RLWE encryption: plaintext is masked by -a*s + fresh noise")
     def encrypt(self, values, level: int | None = None, scale: float | None = None) -> Ciphertext:
         """Symmetric-style RLWE encryption of a message vector."""
         if level is None:

@@ -63,11 +63,11 @@ class ServePreset:
     """
 
     word_bits: int
-    params: "CkksParams"
-    context: "CkksContext"  # holds the shared batch secret
-    evaluator: "Evaluator"
-    abstract: AbstractParams
-    noise: NoiseParams
+    params: "CkksParams" = field(repr=False)
+    context: "CkksContext" = field(repr=False)  # holds the shared batch secret
+    evaluator: "Evaluator" = field(repr=False)
+    abstract: AbstractParams = field(repr=False)
+    noise: NoiseParams = field(repr=False)
     kernel_backend: str = "numpy"
 
     @classmethod
@@ -169,8 +169,18 @@ class ServeOffline:
 class TenantKeys:
     """Client-side product of the offline ceremony (see module doc)."""
 
-    context: "CkksContext"
+    context: "CkksContext" = field(repr=False)
     evk_in: SwitchKey = field(repr=False, default_factory=list)
+
+    def __repr__(self) -> str:
+        # Digest-only: the context holds the tenant secret, and evk_in is
+        # megabytes of limbs — neither belongs in a log line.
+        return (
+            f"TenantKeys(secret={self.context.keys.secret.digest()}, "
+            f"evk_digits={len(self.evk_in)}, redacted)"
+        )
+
+    __str__ = __repr__
 
     @classmethod
     def from_spec(

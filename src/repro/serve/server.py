@@ -32,6 +32,7 @@ Request lifecycle (the load-bearing design point is step 3):
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -50,6 +51,13 @@ if TYPE_CHECKING:
     from repro.sched.trace import ScheduledTrace
 
 __all__ = ["FheServer", "ServerMetrics"]
+
+# Server-side log discipline: every line identifies work by *digest* —
+# session ids, job ids, program digests, diagnostic codes — never by
+# content.  Program bodies, ciphertext limbs, key material, and peer
+# payload bytes must not reach a log record; repro.check.secflow
+# verifies this statically.
+_log = logging.getLogger("repro.serve.server")
 
 
 def _percentile(samples: list[float], fraction: float) -> float:
@@ -72,6 +80,9 @@ class ServerMetrics:
     engine_invocations: int = 0  # evaluator ops run for job execution
     batches_executed: int = 0
     schedules_certified: int = 0  # equivalence certificates minted
+    # Digest-only audit trail of what was certified: program *digests*,
+    # never program bodies, reach the metrics/STATS surface.
+    certified_digests: list[str] = field(default_factory=list)
     verify_seconds_total: float = 0.0
     queue_wait: list[float] = field(default_factory=list)
     execute_seconds: list[float] = field(default_factory=list)
@@ -93,6 +104,7 @@ class ServerMetrics:
             "engine_invocations": self.engine_invocations,
             "batches_executed": self.batches_executed,
             "schedules_certified": self.schedules_certified,
+            "certified_digests": list(self.certified_digests),
             "verify_seconds_total": self.verify_seconds_total,
             "latency_p50_s": _percentile(self.total_latency, 0.50),
             "latency_p95_s": _percentile(self.total_latency, 0.95),
@@ -262,6 +274,12 @@ class FheServer:
 
         session = self.offline.enroll(word_bits, width, tenant_pk, evk_in)
         self.sessions[session.session_id] = session
+        _log.info(
+            "enrolled session=%s word_bits=%d width=%d",
+            session.session_id,
+            word_bits,
+            width,
+        )
         wire.write_frame(
             writer,
             wire.Kind.ENROLLED,
@@ -305,6 +323,7 @@ class FheServer:
         except ProgramError as exc:
             self.metrics.jobs_rejected += 1
             session.jobs_rejected += 1
+            _log.info("job rejected job=%s codes=PROGRAM-INVALID", job_id)
             self._send_rejection(writer, job_id, ["PROGRAM-INVALID"], str(exc))
             await writer.drain()
             return
@@ -320,6 +339,12 @@ class FheServer:
         if not verdict.admitted:
             self.metrics.jobs_rejected += 1
             session.jobs_rejected += 1
+            _log.info(
+                "job rejected job=%s program=%s codes=%s",
+                job_id,
+                program.digest(),
+                ",".join(sorted(verdict.error_codes)),
+            )
             wire.write_frame(
                 writer,
                 wire.Kind.ERROR,
@@ -338,6 +363,9 @@ class FheServer:
         ct_in = wire.decode_ciphertext(ct_blob, preset.context.ring)
         self.metrics.jobs_admitted += 1
         session.jobs_admitted += 1
+        _log.info(
+            "job admitted job=%s program=%s", job_id, program.digest()
+        )
 
         loop = asyncio.get_running_loop()
         future: asyncio.Future[tuple[Ciphertext, dict[str, Any]]] = loop.create_future()
@@ -500,7 +528,8 @@ class FheServer:
         from repro.core.config import sharp_config
         from repro.params.presets import build_sharp_setting
 
-        key = (preset.word_bits, program.digest())
+        digest = program.digest()
+        key = (preset.word_bits, digest)
         cached = self._certified.get(key)
         if cached is None:
             setting = build_sharp_setting(preset.word_bits)
@@ -509,6 +538,12 @@ class FheServer:
             )
             self._certified[key] = cached
             self.metrics.schedules_certified += 1
+            self.metrics.certified_digests.append(digest)
+            _log.info(
+                "schedule certified word_bits=%d program=%s",
+                preset.word_bits,
+                digest,
+            )
         return cached
 
     def _execute_scheduled(

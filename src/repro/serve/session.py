@@ -39,9 +39,12 @@ class TenantSession:
     session_id: str
     word_bits: int
     width: int  # slots this tenant owns in any shared ciphertext
-    tenant_pk: tuple["RnsPolynomial", "RnsPolynomial"]
-    evk_in: SwitchKey  # tenant secret -> batch secret
-    evk_out: SwitchKey  # batch secret -> tenant secret
+    # Key material is excluded from repr: switch keys are safe to hold
+    # (public-key encryptions) but megabytes of limbs have no business in
+    # a log line or a debugger echo.
+    tenant_pk: tuple["RnsPolynomial", "RnsPolynomial"] = field(repr=False)
+    evk_in: SwitchKey = field(repr=False)  # tenant secret -> batch secret
+    evk_out: SwitchKey = field(repr=False)  # batch secret -> tenant secret
     jobs_submitted: int = 0
     jobs_admitted: int = 0
     jobs_rejected: int = 0

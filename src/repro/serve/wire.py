@@ -119,7 +119,9 @@ def decode_frame(data: bytes) -> tuple[Kind, bytes]:
         raise WireError(f"truncated header: {len(data)} < {_HEADER.size} bytes")
     magic, version, kind_raw, length = _HEADER.unpack_from(data)
     if magic != MAGIC:
-        raise WireError(f"bad magic {magic!r} (want {MAGIC!r})")
+        # Never echo the received bytes: a frame that missed its magic is
+        # attacker- (or bug-) controlled content and must not reach logs.
+        raise WireError(f"bad magic in frame header (want {MAGIC!r})")
     if version != VERSION:
         raise WireError(f"unsupported wire version {version} (speak {VERSION})")
     if length > MAX_PAYLOAD_BYTES:
@@ -172,8 +174,14 @@ def encode_json(obj: object) -> bytes:
 def decode_json(data: bytes) -> dict[str, Any]:
     try:
         obj = json.loads(data.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise WireError(f"malformed JSON payload: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        # str(UnicodeDecodeError) prints the offending byte — report the
+        # position only, never payload content.
+        raise WireError(f"JSON payload is not UTF-8 at byte {exc.start}") from exc
+    except json.JSONDecodeError as exc:
+        raise WireError(
+            f"malformed JSON payload at line {exc.lineno} column {exc.colno}"
+        ) from exc
     if not isinstance(obj, dict):
         raise WireError("JSON payload must be an object")
     return obj
@@ -324,7 +332,7 @@ def decode_program(data: bytes) -> EvalProgram:
     try:
         return EvalProgram.from_json(data.decode("utf-8"))
     except UnicodeDecodeError as exc:
-        raise WireError(f"program payload is not UTF-8: {exc}") from exc
+        raise WireError(f"program payload is not UTF-8 at byte {exc.start}") from exc
     except ProgramError as exc:
         raise WireError(f"invalid program: {exc}") from exc
 
@@ -344,7 +352,7 @@ async def read_frame(reader: "asyncio.StreamReader") -> tuple[Kind, bytes]:
     header = await reader.readexactly(_HEADER.size)
     magic, version, kind_raw, length = _HEADER.unpack(header)
     if magic != MAGIC:
-        raise WireError(f"bad magic {magic!r} (want {MAGIC!r})")
+        raise WireError(f"bad magic in frame header (want {MAGIC!r})")
     if version != VERSION:
         raise WireError(f"unsupported wire version {version} (speak {VERSION})")
     if length > MAX_PAYLOAD_BYTES:

@@ -308,9 +308,12 @@ class TestMutationCorpus:
             "bounds",
             "noise",
             "equiv",
+            "secflow",
         }
         # The translation-validation mutants are a corpus of their own.
         assert sum(1 for c in corpus if c.kind == "equiv") >= 8
+        # So are the injected secret leaks.
+        assert sum(1 for c in corpus if c.kind == "secflow") >= 6
 
     def test_every_mutation_is_caught(self, setting):
         results = run_corpus(setting)
